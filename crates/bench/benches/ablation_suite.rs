@@ -1,0 +1,39 @@
+//! Ablation-suite bench: regenerates the quick-scale ablation tables
+//! (VC budget, turn models, arbitration) and times one representative run
+//! of each.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wormsim_bench::{bench_experiment_config, print_figure, timed_sim};
+use wormsim_experiments::{
+    ablation_arbitration, ablation_turn_models, ablation_vc_budget, paper_52_layout,
+};
+use wormsim_fault::FaultPattern;
+use wormsim_routing::AlgorithmKind;
+use wormsim_topology::Mesh;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_experiment_config();
+    print_figure(&ablation_vc_budget(&cfg));
+    print_figure(&ablation_turn_models(&cfg));
+    print_figure(&ablation_arbitration(&cfg));
+
+    let mesh = Mesh::square(10);
+    let mut g = c.benchmark_group("ablation_sims");
+    g.sample_size(10);
+    g.bench_function("turn_model_west_first", |b| {
+        b.iter(|| {
+            timed_sim(
+                AlgorithmKind::WestFirst,
+                FaultPattern::fault_free(&mesh),
+                0.003,
+            )
+        })
+    });
+    g.bench_function("xy_over_faults", |b| {
+        b.iter(|| timed_sim(AlgorithmKind::Xy, paper_52_layout(&mesh), 0.003))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

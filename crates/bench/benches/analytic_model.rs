@@ -1,0 +1,45 @@
+//! Analytical-model bench: prints the model-vs-simulation comparison and
+//! times model construction and evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wormsim_analytic::AnalyticModel;
+use wormsim_bench::timed_sim;
+use wormsim_fault::FaultPattern;
+use wormsim_routing::AlgorithmKind;
+use wormsim_topology::Mesh;
+
+fn bench(c: &mut Criterion) {
+    let mesh = Mesh::square(10);
+    let pattern = FaultPattern::fault_free(&mesh);
+    let model = AnalyticModel::new(&mesh, &pattern);
+
+    println!("\n===== analytic model vs simulation (fault-free 10×10) =====");
+    println!(
+        "saturation rate: model {:.5} msgs/node/cycle",
+        model.saturation_rate(100)
+    );
+    println!("{:>9} {:>12} {:>12}", "rate", "lat (model)", "lat (sim)");
+    for rate in [0.0005, 0.001, 0.002] {
+        let sim = timed_sim(AlgorithmKind::Duato, pattern.clone(), rate);
+        let m = model
+            .mean_latency(rate, 100)
+            .map(|l| format!("{l:.1}"))
+            .unwrap_or_else(|| "saturated".into());
+        println!(
+            "{:>9.4} {:>12} {:>12.1}",
+            rate,
+            m,
+            sim.mean_network_latency()
+        );
+    }
+
+    c.bench_function("analytic_model_build", |b| {
+        b.iter(|| AnalyticModel::new(&mesh, &pattern))
+    });
+    c.bench_function("analytic_latency_eval", |b| {
+        b.iter(|| model.mean_latency(0.002, 100))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Engine microbenchmarks: substrate costs independent of any figure —
+//! pattern generation + convex coalescing, f-ring construction, routing
+//! decisions, and raw simulation cycle throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use wormsim_engine::{SimConfig, Simulator};
+use wormsim_fault::{random_pattern, FRingSet, FaultPattern};
+use wormsim_routing::{build_algorithm, AlgorithmKind, RoutingContext, VcConfig};
+use wormsim_topology::Mesh;
+use wormsim_traffic::Workload;
+
+fn bench(c: &mut Criterion) {
+    let mesh = Mesh::square(10);
+
+    c.bench_function("fault_pattern_generation_10pct", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| random_pattern(&mesh, 10, &mut rng).unwrap())
+    });
+
+    let mut rng = SmallRng::seed_from_u64(2);
+    let pattern = random_pattern(&mesh, 10, &mut rng).unwrap();
+    c.bench_function("fring_construction", |b| {
+        b.iter(|| FRingSet::build(&mesh, &pattern))
+    });
+
+    c.bench_function("routing_context_build", |b| {
+        b.iter(|| RoutingContext::new(mesh.clone(), pattern.clone()))
+    });
+
+    // Routing decision cost per algorithm (single route() call).
+    let ctx = Arc::new(RoutingContext::new(mesh.clone(), pattern.clone()));
+    let mut g = c.benchmark_group("route_decision");
+    for kind in [
+        AlgorithmKind::PHop,
+        AlgorithmKind::Nbc,
+        AlgorithmKind::Duato,
+        AlgorithmKind::FullyAdaptive,
+        AlgorithmKind::BouraFaultTolerant,
+    ] {
+        let algo = build_algorithm(kind, ctx.clone(), VcConfig::paper());
+        let healthy: Vec<_> = pattern.healthy_nodes(&mesh).collect();
+        let (src, dest) = (healthy[0], healthy[healthy.len() - 1]);
+        g.bench_function(kind.paper_name(), |b| {
+            b.iter_batched(
+                || algo.init_message(src, dest),
+                |mut st| algo.route(src, &mut st),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+
+    // Raw cycle throughput at saturation.
+    c.bench_function("sim_2000_cycles_saturated", |b| {
+        b.iter(|| {
+            let ctx = Arc::new(RoutingContext::new(
+                mesh.clone(),
+                FaultPattern::fault_free(&mesh),
+            ));
+            let algo = build_algorithm(AlgorithmKind::Duato, ctx.clone(), VcConfig::paper());
+            let cfg = SimConfig {
+                warmup_cycles: 0,
+                measure_cycles: 2_000,
+                ..SimConfig::paper()
+            };
+            let mut sim = Simulator::new(algo, ctx, Workload::paper_uniform(0.01), cfg);
+            sim.run()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 1 bench: regenerates the saturation-throughput-vs-rate table at
+//! quick scale, then times one near-saturation simulation per category
+//! leader.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wormsim_bench::{bench_experiment_config, print_figure, timed_sim};
+use wormsim_experiments::fig1_saturation_throughput;
+use wormsim_fault::FaultPattern;
+use wormsim_routing::AlgorithmKind;
+use wormsim_topology::Mesh;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_experiment_config();
+    print_figure(&fig1_saturation_throughput(&cfg));
+
+    let mesh = Mesh::square(10);
+    let mut g = c.benchmark_group("fig1_throughput_sim");
+    g.sample_size(10);
+    for kind in [
+        AlgorithmKind::Duato,
+        AlgorithmKind::NHop,
+        AlgorithmKind::Pbc,
+    ] {
+        g.bench_function(kind.paper_name(), |b| {
+            b.iter(|| timed_sim(kind, FaultPattern::fault_free(&mesh), 0.003))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

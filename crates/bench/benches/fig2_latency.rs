@@ -1,0 +1,27 @@
+//! Figure 2 bench: regenerates the latency-vs-rate table at quick scale,
+//! then times sub-saturation simulations (the latency-dominated regime).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wormsim_bench::{bench_experiment_config, print_figure, timed_sim};
+use wormsim_experiments::fig2_latency_vs_rate;
+use wormsim_fault::FaultPattern;
+use wormsim_routing::AlgorithmKind;
+use wormsim_topology::Mesh;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_experiment_config();
+    print_figure(&fig2_latency_vs_rate(&cfg));
+
+    let mesh = Mesh::square(10);
+    let mut g = c.benchmark_group("fig2_latency_sim");
+    g.sample_size(10);
+    for kind in [AlgorithmKind::DuatoNbc, AlgorithmKind::PHop] {
+        g.bench_function(kind.paper_name(), |b| {
+            b.iter(|| timed_sim(kind, FaultPattern::fault_free(&mesh), 0.001))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 3 bench: regenerates both per-VC-utilization panels at quick
+//! scale, then times a faulty-mesh simulation with VC-usage collection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wormsim_bench::{bench_experiment_config, print_figure, timed_sim};
+use wormsim_experiments::fig3_vc_utilization;
+use wormsim_fault::random_pattern;
+use wormsim_routing::AlgorithmKind;
+use wormsim_topology::Mesh;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_experiment_config();
+    print_figure(&fig3_vc_utilization(&cfg));
+
+    let mesh = Mesh::square(10);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let pattern = random_pattern(&mesh, 5, &mut rng).unwrap();
+    let mut g = c.benchmark_group("fig3_vc_usage_sim");
+    g.sample_size(10);
+    for kind in [AlgorithmKind::PHop, AlgorithmKind::MinimalAdaptive] {
+        g.bench_function(kind.paper_name(), |b| {
+            b.iter(|| timed_sim(kind, pattern.clone(), 0.003))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 5 bench: regenerates the latency-vs-fault-percentage table at
+//! quick scale, then times 5%-fault simulations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wormsim_bench::{bench_experiment_config, print_figure, timed_sim};
+use wormsim_experiments::fig5_latency_vs_faults;
+use wormsim_fault::random_pattern;
+use wormsim_routing::AlgorithmKind;
+use wormsim_topology::Mesh;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_experiment_config();
+    print_figure(&fig5_latency_vs_faults(&cfg));
+
+    let mesh = Mesh::square(10);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let pattern = random_pattern(&mesh, 5, &mut rng).unwrap();
+    let mut g = c.benchmark_group("fig5_fault_latency_sim");
+    g.sample_size(10);
+    for kind in [AlgorithmKind::Nbc, AlgorithmKind::Duato] {
+        g.bench_function(kind.paper_name(), |b| {
+            b.iter(|| timed_sim(kind, pattern.clone(), 0.01))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

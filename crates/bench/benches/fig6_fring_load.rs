@@ -1,0 +1,27 @@
+//! Figure 6 bench: regenerates the f-ring/other traffic split table at
+//! quick scale, then times simulations over the paper's §5.2 layout.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wormsim_bench::{bench_experiment_config, print_figure, timed_sim};
+use wormsim_experiments::{fig6_fring_traffic, paper_52_layout};
+use wormsim_routing::AlgorithmKind;
+use wormsim_topology::Mesh;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_experiment_config();
+    print_figure(&fig6_fring_traffic(&cfg));
+
+    let mesh = Mesh::square(10);
+    let pattern = paper_52_layout(&mesh);
+    let mut g = c.benchmark_group("fig6_fring_load_sim");
+    g.sample_size(10);
+    for kind in [AlgorithmKind::PHop, AlgorithmKind::DuatoNbc] {
+        g.bench_function(kind.paper_name(), |b| {
+            b.iter(|| timed_sim(kind, pattern.clone(), 0.004))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

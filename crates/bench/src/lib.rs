@@ -1,0 +1,47 @@
+//! # wormsim-bench
+//!
+//! Criterion benches, one per paper figure (`benches/figN_*.rs`) plus an
+//! engine microbenchmark. Each figure bench first *regenerates* its
+//! figure's data at quick scale (printing the table, so `cargo bench`
+//! reproduces every series the paper reports) and then times a
+//! representative simulation as the measured benchmark.
+
+use std::sync::Arc;
+use wormsim_engine::{SimConfig, Simulator};
+use wormsim_experiments::{ExperimentConfig, Scale};
+use wormsim_fault::FaultPattern;
+use wormsim_metrics::SimReport;
+use wormsim_routing::{build_algorithm, AlgorithmKind, RoutingContext, VcConfig};
+use wormsim_topology::Mesh;
+use wormsim_traffic::Workload;
+
+/// The experiment configuration benches use to regenerate figure data:
+/// quick scale, fixed seed, all cores.
+pub fn bench_experiment_config() -> ExperimentConfig {
+    ExperimentConfig::new(Scale::Quick).with_seed(0xBE7C)
+}
+
+/// A small, fast simulation for timing: 10×10 mesh, 2 000 cycles.
+pub fn timed_sim(kind: AlgorithmKind, pattern: FaultPattern, rate: f64) -> SimReport {
+    let mesh = Mesh::square(10);
+    let ctx = Arc::new(RoutingContext::new(mesh, pattern));
+    let algo = build_algorithm(kind, ctx.clone(), VcConfig::paper());
+    let cfg = SimConfig {
+        warmup_cycles: 500,
+        measure_cycles: 1_500,
+        ..SimConfig::paper()
+    };
+    let mut sim = Simulator::new(algo, ctx, Workload::paper_uniform(rate), cfg);
+    sim.run()
+}
+
+/// Print a figure result to stdout (criterion keeps stdout visible).
+pub fn print_figure(fig: &wormsim_experiments::FigureResult) {
+    println!("\n===== regenerated {} =====", fig.title);
+    for note in &fig.notes {
+        println!("- {note}");
+    }
+    for t in &fig.tables {
+        println!("{}", t.to_markdown());
+    }
+}

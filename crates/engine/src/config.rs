@@ -1,0 +1,95 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// How per-cycle allocation conflicts are ordered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Arbitration {
+    /// Random service order every cycle — the paper's model ("conflicts …
+    /// were resolved in a random manner"). Admits unbounded starvation on
+    /// heavily contended channels.
+    Random,
+    /// Oldest message first — a starvation-free alternative used by the
+    /// arbitration ablation study.
+    OldestFirst,
+}
+
+/// Engine parameters. [`SimConfig::paper`] reproduces the paper's §5 setup.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Per-VC input buffer depth in flits.
+    pub buffer_depth: u8,
+    /// Cycles simulated before statistics collection starts (paper: the
+    /// first 10 000 of 30 000 cycles are discarded).
+    pub warmup_cycles: u64,
+    /// Cycles over which statistics are collected (paper: 20 000).
+    pub measure_cycles: u64,
+    /// Cycles without progress before the watchdog drops and re-injects a
+    /// message. Must comfortably exceed worst-case blocking chains at
+    /// saturation (with 100-flit messages these legitimately reach many
+    /// thousands of cycles) so deadlock-free algorithms never trip it.
+    pub deadlock_timeout: u64,
+    /// PRNG seed; every stochastic choice in a run derives from it.
+    pub seed: u64,
+    /// Conflict-resolution policy (paper: random).
+    pub arbitration: Arbitration,
+}
+
+impl SimConfig {
+    /// The paper's configuration: 30 000 cycles with a 10 000-cycle
+    /// warm-up.
+    pub fn paper() -> Self {
+        SimConfig {
+            buffer_depth: 2,
+            warmup_cycles: 10_000,
+            measure_cycles: 20_000,
+            deadlock_timeout: 25_000,
+            seed: 0x5EED,
+            arbitration: Arbitration::Random,
+        }
+    }
+
+    /// A shortened configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        SimConfig {
+            warmup_cycles: 1_000,
+            measure_cycles: 3_000,
+            ..SimConfig::paper()
+        }
+    }
+
+    /// Total simulated cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.warmup_cycles + self.measure_cycles
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style arbitration override.
+    pub fn with_arbitration(mut self, arbitration: Arbitration) -> Self {
+        self.arbitration = arbitration;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_section_5() {
+        let c = SimConfig::paper();
+        assert_eq!(c.warmup_cycles, 10_000);
+        assert_eq!(c.total_cycles(), 30_000);
+    }
+
+    #[test]
+    fn seed_override() {
+        let c = SimConfig::paper().with_seed(7);
+        assert_eq!(c.seed, 7);
+    }
+}

@@ -1,0 +1,109 @@
+//! In-flight message bookkeeping.
+
+use std::collections::VecDeque;
+use wormsim_routing::MessageState;
+use wormsim_topology::NodeId;
+
+/// Opaque handle to a message within a simulator (slab index; reused after
+/// delivery).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MsgId(pub(crate) u32);
+
+/// One virtual channel held by a message: the dense `(channel, vc)` key,
+/// how many flits have entered its downstream buffer so far, and how many
+/// are buffered there now.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PathEntry {
+    /// `channel.index() * num_vcs + vc`.
+    pub key: u32,
+    /// Flits that have entered this VC (cumulative; the header is flit 0).
+    pub entered: u32,
+    /// Flits currently in the downstream buffer.
+    pub occ: u8,
+}
+
+/// A message in flight. Its flits are never materialized: each held VC
+/// tracks only counts, which fully determines wormhole pipeline behavior.
+#[derive(Debug)]
+pub(crate) struct Msg {
+    pub src: NodeId,
+    pub dest: NodeId,
+    pub length: u32,
+    pub created: u64,
+    /// Cycle the first flit entered the network (None while still queued at
+    /// the source). Network latency = delivery − this; total latency =
+    /// delivery − `created` (includes source queueing).
+    pub first_injected: Option<u64>,
+    pub state: MessageState,
+    /// VCs currently held, oldest (source side) first.
+    pub path: VecDeque<PathEntry>,
+    /// Flits still waiting at the source (not yet entered `path[0]`).
+    pub at_source: u32,
+    /// Flits consumed at the destination.
+    pub delivered: u32,
+    /// Cycle of the last flit movement (watchdog input).
+    pub last_progress: u64,
+    /// Slab liveness flag.
+    pub alive: bool,
+    /// Times this message was dropped and re-injected by the watchdog.
+    pub recoveries: u32,
+}
+
+impl Msg {
+    pub fn new(src: NodeId, dest: NodeId, length: u32, created: u64, state: MessageState) -> Self {
+        Msg {
+            src,
+            dest,
+            length,
+            created,
+            first_injected: None,
+            state,
+            path: VecDeque::new(),
+            at_source: length,
+            delivered: 0,
+            last_progress: created,
+            alive: true,
+            recoveries: 0,
+        }
+    }
+
+    /// Whether the header flit is sitting in the buffer of the last held VC
+    /// (routable) — true once it has entered and before it moves on.
+    pub fn header_at_head(&self) -> bool {
+        self.path.back().is_some_and(|e| e.entered >= 1)
+    }
+
+    /// Whether every flit has been consumed at the destination.
+    pub fn is_complete(&self) -> bool {
+        self.delivered == self.length
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_message() {
+        let st = MessageState::new(NodeId(0), NodeId(5));
+        let m = Msg::new(NodeId(0), NodeId(5), 100, 42, st);
+        assert_eq!(m.at_source, 100);
+        assert!(!m.header_at_head());
+        assert!(!m.is_complete());
+    }
+
+    #[test]
+    fn header_presence() {
+        let st = MessageState::new(NodeId(0), NodeId(5));
+        let mut m = Msg::new(NodeId(0), NodeId(5), 10, 0, st);
+        m.path.push_back(PathEntry {
+            key: 3,
+            entered: 0,
+            occ: 0,
+        });
+        assert!(!m.header_at_head(), "allocated but header not yet arrived");
+        m.path.back_mut().unwrap().entered = 1;
+        m.path.back_mut().unwrap().occ = 1;
+        assert!(m.header_at_head());
+    }
+}

@@ -1,0 +1,957 @@
+//! The cycle loop: injection, routing/VC allocation, flit movement,
+//! watchdog, statistics.
+
+use crate::config::SimConfig;
+use crate::message::{Msg, MsgId, PathEntry};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use wormsim_metrics::{LatencyStats, NodeLoadStats, SimReport, ThroughputStats, VcUsageStats};
+use wormsim_routing::{RoutingAlgorithm, RoutingContext};
+use wormsim_topology::{ChannelId, NodeId};
+use wormsim_traffic::{DestinationSampler, Injector, Workload};
+
+/// The flit-level wormhole simulator. Construct with an algorithm bound to
+/// a [`RoutingContext`], a [`Workload`], and a [`SimConfig`]; then either
+/// [`Simulator::run`] the full warm-up + measurement schedule or drive it
+/// manually with [`Simulator::step`] / [`Simulator::inject_message`].
+pub struct Simulator {
+    cfg: SimConfig,
+    algo: Box<dyn RoutingAlgorithm>,
+    ctx: Arc<RoutingContext>,
+    workload: Workload,
+    num_vcs: u8,
+
+    /// VC ownership: `slots[ch.index() * num_vcs + vc]` = owning message.
+    slots: Vec<Option<u32>>,
+    msgs: Vec<Msg>,
+    free_list: Vec<u32>,
+    /// Messages currently in the network or injecting.
+    active: Vec<u32>,
+    /// Per-node source queues of generated-but-not-started messages.
+    queues: Vec<VecDeque<u32>>,
+    /// Per-node message currently occupying the injection port.
+    injecting: Vec<Option<u32>>,
+    injectors: Vec<Injector>,
+    sampler: DestinationSampler,
+    rng: SmallRng,
+
+    cycle: u64,
+    /// Per-cycle link bandwidth budget (one flit per physical channel).
+    link_used: Vec<bool>,
+    /// Per-cycle ejection budget (one flit per node).
+    eject_used: Vec<bool>,
+    /// Scratch order buffer, shuffled every cycle.
+    order: Vec<u32>,
+
+    latency: LatencyStats,
+    network_latency: LatencyStats,
+    throughput: ThroughputStats,
+    vc_usage: VcUsageStats,
+    node_load: NodeLoadStats,
+    recoveries: u64,
+    /// Hops taken on the fault-tolerance overlay VCs (ring detour hops).
+    ring_hops: u64,
+    /// Misroutes summed over delivered messages.
+    total_misroutes: u64,
+
+    /// Print diagnostic details for every watchdog recovery (debug aid).
+    pub debug_watchdog: bool,
+}
+
+impl Simulator {
+    /// Build a simulator. The algorithm must be bound to the same context.
+    pub fn new(
+        algo: Box<dyn RoutingAlgorithm>,
+        ctx: Arc<RoutingContext>,
+        workload: Workload,
+        cfg: SimConfig,
+    ) -> Self {
+        let mesh = ctx.mesh();
+        let num_nodes = mesh.num_nodes();
+        let num_vcs = algo.num_vcs();
+        let pattern = ctx.pattern();
+        let healthy: Vec<NodeId> = pattern.healthy_nodes(mesh).collect();
+        let num_healthy = healthy.len();
+        let injectors = mesh
+            .nodes()
+            .map(|n| {
+                if pattern.is_faulty(n) {
+                    Injector::new(0.0)
+                } else {
+                    Injector::new(workload.rate)
+                }
+            })
+            .collect();
+        let sampler = DestinationSampler::new(workload.pattern, mesh, healthy);
+        let channels = mesh.channels().count();
+        Simulator {
+            algo,
+            workload,
+            num_vcs,
+            slots: vec![None; mesh.num_channel_slots() * num_vcs as usize],
+            msgs: Vec::new(),
+            free_list: Vec::new(),
+            active: Vec::new(),
+            queues: vec![VecDeque::new(); num_nodes],
+            injecting: vec![None; num_nodes],
+            injectors,
+            sampler,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            cycle: 0,
+            link_used: vec![false; mesh.num_channel_slots()],
+            eject_used: vec![false; num_nodes],
+            order: Vec::new(),
+            latency: LatencyStats::new(),
+            network_latency: LatencyStats::new(),
+            throughput: ThroughputStats::new(num_healthy),
+            vc_usage: VcUsageStats::new(num_vcs, channels),
+            node_load: NodeLoadStats::new(num_nodes),
+            recoveries: 0,
+            ring_hops: 0,
+            total_misroutes: 0,
+            debug_watchdog: false,
+            cfg,
+            ctx,
+        }
+    }
+
+    /// The current simulation cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Number of messages currently active (injecting or in-network).
+    pub fn in_flight(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Messages waiting in source queues.
+    pub fn queued(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Total watchdog recoveries so far.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Messages delivered so far (measurement window only).
+    pub fn delivered(&self) -> u64 {
+        self.throughput.messages_delivered()
+    }
+
+    /// Whether statistics are currently being collected.
+    fn measuring(&self) -> bool {
+        self.cycle >= self.cfg.warmup_cycles
+            && self.cycle < self.cfg.warmup_cycles + self.cfg.measure_cycles
+    }
+
+    /// Manually enqueue a message (used by tests and examples; bypasses the
+    /// stochastic injectors). Returns its handle.
+    ///
+    /// ```
+    /// # use std::sync::Arc;
+    /// # use wormsim_topology::Mesh;
+    /// # use wormsim_fault::FaultPattern;
+    /// # use wormsim_routing::{build_algorithm, AlgorithmKind, RoutingContext, VcConfig};
+    /// # use wormsim_traffic::Workload;
+    /// # use wormsim_engine::{SimConfig, Simulator};
+    /// let mesh = Mesh::square(10);
+    /// let ctx = Arc::new(RoutingContext::new(mesh.clone(), FaultPattern::fault_free(&mesh)));
+    /// let algo = build_algorithm(AlgorithmKind::NHop, ctx.clone(), VcConfig::paper());
+    /// let mut sim = Simulator::new(algo, ctx, Workload::paper_uniform(0.0), SimConfig::quick());
+    /// let id = sim.inject_message(mesh.node(0, 0), mesh.node(9, 9));
+    /// assert!(sim.run_until_drained(10_000));
+    /// assert!(sim.is_delivered(id));
+    /// ```
+    pub fn inject_message(&mut self, src: NodeId, dest: NodeId) -> MsgId {
+        assert!(!self.ctx.pattern().is_faulty(src), "source is faulty");
+        assert!(!self.ctx.pattern().is_faulty(dest), "destination is faulty");
+        assert_ne!(src, dest, "source equals destination");
+        let id = self.alloc_msg(src, dest);
+        self.queues[src.index()].push_back(id.0);
+        id
+    }
+
+    /// Whether a manually injected message has been fully delivered.
+    pub fn is_delivered(&self, id: MsgId) -> bool {
+        let m = &self.msgs[id.0 as usize];
+        !m.alive
+    }
+
+    fn alloc_msg(&mut self, src: NodeId, dest: NodeId) -> MsgId {
+        let state = self.algo.init_message(src, dest);
+        let msg = Msg::new(src, dest, self.workload.message_length, self.cycle, state);
+        if let Some(idx) = self.free_list.pop() {
+            self.msgs[idx as usize] = msg;
+            MsgId(idx)
+        } else {
+            self.msgs.push(msg);
+            MsgId(self.msgs.len() as u32 - 1)
+        }
+    }
+
+    #[inline]
+    fn key(&self, ch: ChannelId, vc: u8) -> u32 {
+        ch.0 * self.num_vcs as u32 + vc as u32
+    }
+
+    #[inline]
+    fn key_channel(&self, key: u32) -> ChannelId {
+        ChannelId(key / self.num_vcs as u32)
+    }
+
+    #[inline]
+    fn key_vc(&self, key: u32) -> u8 {
+        (key % self.num_vcs as u32) as u8
+    }
+
+    /// The node where a message's header currently resides.
+    fn head_node(&self, m: &Msg) -> NodeId {
+        match m.path.back() {
+            None => m.src,
+            Some(e) => self
+                .ctx
+                .mesh()
+                .channel_dest(self.key_channel(e.key))
+                .expect("held channel must have a destination"),
+        }
+    }
+
+    /// Run the configured warm-up + measurement schedule and produce the
+    /// report.
+    pub fn run(&mut self) -> SimReport {
+        for _ in 0..self.cfg.total_cycles() {
+            self.step();
+        }
+        self.report()
+    }
+
+    /// Run until all queued/active messages are delivered or `max_cycles`
+    /// elapse; returns true when the network fully drained. Traffic
+    /// injectors are not polled (rate 0 workloads / manual injection).
+    pub fn run_until_drained(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.active.is_empty() && self.queued() == 0 {
+                return true;
+            }
+            self.step();
+        }
+        self.active.is_empty() && self.queued() == 0
+    }
+
+    /// Build the report for everything measured so far.
+    pub fn report(&self) -> SimReport {
+        let ctx = &self.ctx;
+        let mesh = ctx.mesh();
+        let mut throughput = self.throughput.clone();
+        throughput.set_cycles(
+            self.cfg
+                .measure_cycles
+                .min(
+                    self.cycle
+                        .saturating_sub(self.cfg.warmup_cycles.min(self.cycle)),
+                )
+                .max(1),
+        );
+        let ring_load = if ctx.pattern().is_fault_free() {
+            None
+        } else {
+            let on_ring: Vec<bool> = mesh.nodes().map(|n| ctx.rings().on_any_ring(n)).collect();
+            let usable: Vec<bool> = mesh.nodes().map(|n| !ctx.pattern().is_faulty(n)).collect();
+            Some(self.node_load.ring_summary(&on_ring, &usable))
+        };
+        SimReport {
+            algorithm: self.algo.name().to_string(),
+            offered_rate: self.workload.rate,
+            message_length: self.workload.message_length,
+            seed_faults: ctx.pattern().num_seed_faulty(),
+            total_faults: ctx.pattern().num_faulty(),
+            measured_cycles: self.cfg.measure_cycles,
+            latency: self.latency.clone(),
+            network_latency: self.network_latency.clone(),
+            throughput,
+            vc_usage: self.vc_usage.clone(),
+            node_load: self.node_load.clone(),
+            recoveries: self.recoveries,
+            ring_hops: self.ring_hops,
+            total_misroutes: self.total_misroutes,
+            in_flight_at_end: self.active.len() as u64,
+            ring_load,
+        }
+    }
+
+    /// Audit the simulator's internal consistency; panics on violation.
+    /// Exercised by the engine's invariant tests after every cycle.
+    ///
+    /// Checked invariants:
+    /// 1. VC-slot ownership and message path entries form a bijection.
+    /// 2. Per-entry flit accounting: `occ ≤ buffer depth`,
+    ///    `entered ≤ length`, and `entered[j] = occ[j] + entered[j+1]`
+    ///    (the head entry drains into `delivered`).
+    /// 3. Per-message conservation: source flits + buffered flits +
+    ///    delivered flits = message length.
+    /// 4. Injection bookkeeping: a message with flits still at the source
+    ///    and a non-empty path owns its node's injection port.
+    pub fn check_invariants(&self) {
+        let depth = self.cfg.buffer_depth as u32;
+        // 1. Ownership bijection.
+        let mut owned = std::collections::HashMap::new();
+        for (k, owner) in self.slots.iter().enumerate() {
+            if let Some(id) = owner {
+                owned.insert(k as u32, *id);
+            }
+        }
+        let mut seen = 0usize;
+        for &id in &self.active {
+            let m = &self.msgs[id as usize];
+            if !m.alive {
+                continue;
+            }
+            for e in &m.path {
+                assert_eq!(
+                    owned.get(&e.key),
+                    Some(&id),
+                    "path entry not owned by its message"
+                );
+                seen += 1;
+            }
+            // 2. Flit accounting along the path.
+            let mut downstream_entered = m.delivered;
+            for e in m.path.iter().rev() {
+                assert!(e.occ as u32 <= depth, "buffer overflow");
+                assert!(e.entered <= m.length, "entered beyond length");
+                assert_eq!(
+                    e.entered,
+                    e.occ as u32 + downstream_entered,
+                    "flit accounting broken"
+                );
+                downstream_entered = e.entered;
+            }
+            // 3. Conservation.
+            let buffered: u32 = m.path.iter().map(|e| e.occ as u32).sum();
+            let at_head_of_chain = m.path.front().map(|e| e.entered).unwrap_or(m.delivered);
+            assert_eq!(
+                m.at_source + at_head_of_chain,
+                m.length,
+                "flits lost between source and network"
+            );
+            assert_eq!(
+                m.at_source + buffered + m.delivered,
+                m.length,
+                "flit conservation violated"
+            );
+            // 4. Injection port bookkeeping.
+            if m.at_source > 0 && !m.path.is_empty() {
+                assert_eq!(
+                    self.injecting[m.src.index()],
+                    Some(id),
+                    "injecting message without the port"
+                );
+            }
+        }
+        assert_eq!(seen, owned.len(), "orphaned VC slot ownership");
+    }
+
+    /// Advance the simulation by one cycle.
+    pub fn step(&mut self) {
+        let measuring = self.measuring();
+
+        // 1. Stochastic message generation (open-loop Poisson sources).
+        if self.workload.rate > 0.0 {
+            self.generate_traffic(measuring);
+        }
+
+        // 2. Promote queued messages onto free injection ports.
+        for node in 0..self.queues.len() {
+            if self.injecting[node].is_none() {
+                if let Some(id) = self.queues[node].pop_front() {
+                    self.injecting[node] = Some(id);
+                    self.active.push(id);
+                }
+            }
+        }
+
+        // 3. Service order: random (the paper's conflict resolution) or
+        // oldest-first (starvation-free ablation alternative).
+        self.order.clear();
+        self.order.extend_from_slice(&self.active);
+        match self.cfg.arbitration {
+            crate::config::Arbitration::Random => self.order.shuffle(&mut self.rng),
+            crate::config::Arbitration::OldestFirst => {
+                let msgs = &self.msgs;
+                self.order
+                    .sort_by_key(|&id| (msgs[id as usize].created, id));
+            }
+        }
+
+        // 4. Routing + VC allocation for headers.
+        let order = std::mem::take(&mut self.order);
+        for &id in &order {
+            self.try_allocate(id);
+        }
+
+        // 5. Flit movement (ejection, pipeline shifts, source injection).
+        self.link_used.fill(false);
+        self.eject_used.fill(false);
+        for &id in &order {
+            self.move_flits(id, measuring);
+        }
+        self.order = order;
+
+        // 6. Watchdog.
+        let timeout = self.cfg.deadlock_timeout;
+        let stuck: Vec<u32> = self
+            .active
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let m = &self.msgs[id as usize];
+                m.alive && self.cycle.saturating_sub(m.last_progress) > timeout
+            })
+            .collect();
+        for id in stuck {
+            self.recover(id);
+        }
+
+        // 7. Statistics & cleanup.
+        if measuring {
+            self.vc_usage.tick();
+            self.node_load.tick();
+            for &id in &self.active {
+                let m = &self.msgs[id as usize];
+                for e in &m.path {
+                    self.vc_usage.record_busy(self.key_vc(e.key));
+                }
+            }
+        }
+        let msgs = &self.msgs;
+        self.active.retain(|&id| msgs[id as usize].alive);
+
+        self.cycle += 1;
+    }
+
+    fn generate_traffic(&mut self, measuring: bool) {
+        let mesh = self.ctx.mesh().clone();
+        for node in mesh.nodes() {
+            let due = self.injectors[node.index()].poll_rng(self.cycle, &mut self.rng);
+            for _ in 0..due {
+                let Some(dest) = self.sampler.sample(node, &mut self.rng) else {
+                    continue;
+                };
+                let id = self.alloc_msg(node, dest);
+                self.queues[node.index()].push_back(id.0);
+                if measuring {
+                    self.throughput.record_injection();
+                }
+            }
+        }
+    }
+
+    /// Route the header of message `id` and claim an output VC if possible.
+    fn try_allocate(&mut self, id: u32) {
+        let m = &self.msgs[id as usize];
+        if !m.alive {
+            return;
+        }
+        // Routable: header at source (path empty, owning the injection
+        // port) or header buffered at the last held VC's downstream node.
+        let at_source = m.path.is_empty();
+        if !at_source && !m.header_at_head() {
+            return; // header still in transit to the head VC
+        }
+        let head = self.head_node(m);
+        if head == m.dest {
+            return; // ejection handles it
+        }
+
+        let mut state = m.state;
+        let cands = self.algo.route(head, &mut state);
+        let mesh = self.ctx.mesh();
+
+        // Gather free (channel, vc) pairs, preferred tier first.
+        let mut eligible: Vec<(u32, u8)> = Vec::new();
+        for tier in 0..2 {
+            for hop in cands.iter() {
+                let mask = if tier == 0 {
+                    hop.preferred
+                } else {
+                    hop.fallback
+                };
+                if mask.is_empty() {
+                    continue;
+                }
+                let ch = mesh.channel(head, hop.dir);
+                debug_assert!(mesh.channel_exists(ch), "candidate off-mesh");
+                for vc in mask.iter() {
+                    if vc >= self.num_vcs {
+                        break;
+                    }
+                    let key = self.key(ch, vc);
+                    if self.slots[key as usize].is_none() {
+                        eligible.push((key, vc));
+                    }
+                }
+            }
+            if !eligible.is_empty() {
+                break;
+            }
+        }
+
+        if eligible.is_empty() {
+            state.wait_cycles += 1;
+            self.msgs[id as usize].state = state;
+            return;
+        }
+        let &(key, vc) = eligible.choose(&mut self.rng).expect("non-empty");
+        let ch = self.key_channel(key);
+        let next = mesh.channel_dest(ch).expect("candidate channel exists");
+        let dir = mesh.channel_dir(ch);
+        self.algo.on_hop(head, next, dir, vc, &mut state);
+        if self.algo.is_overlay_vc(vc) {
+            self.ring_hops += 1;
+        }
+        self.slots[key as usize] = Some(id);
+        let m = &mut self.msgs[id as usize];
+        m.state = state;
+        m.path.push_back(PathEntry {
+            key,
+            entered: 0,
+            occ: 0,
+        });
+    }
+
+    /// Advance the message's flit pipeline by up to one flit per held link.
+    fn move_flits(&mut self, id: u32, measuring: bool) {
+        let depth = self.cfg.buffer_depth;
+        let mesh = self.ctx.mesh().clone();
+        let m = &mut self.msgs[id as usize];
+        if !m.alive || m.path.is_empty() {
+            return;
+        }
+        let mut progressed = false;
+
+        // Ejection at the destination (head entry only).
+        let head_idx = m.path.len() - 1;
+        let head_entry = m.path[head_idx];
+        let head_node = mesh
+            .channel_dest(ChannelId(head_entry.key / self.num_vcs as u32))
+            .expect("held channel has destination");
+        if head_node == m.dest && head_entry.occ > 0 && !self.eject_used[head_node.index()] {
+            self.eject_used[head_node.index()] = true;
+            m.path[head_idx].occ -= 1;
+            m.delivered += 1;
+            progressed = true;
+        }
+
+        // Pipeline shifts: into entry j from entry j-1, head side first so
+        // slots freed this cycle can be refilled (standard pipelining).
+        for j in (1..m.path.len()).rev() {
+            let to_key = m.path[j].key;
+            let ch = to_key / self.num_vcs as u32;
+            if m.path[j - 1].occ > 0
+                && m.path[j].occ < depth
+                && m.path[j].entered < m.length
+                && !self.link_used[ch as usize]
+            {
+                self.link_used[ch as usize] = true;
+                m.path[j - 1].occ -= 1;
+                m.path[j].occ += 1;
+                m.path[j].entered += 1;
+                progressed = true;
+                if measuring {
+                    let arrive = mesh
+                        .channel_dest(ChannelId(ch))
+                        .expect("held channel has destination");
+                    self.node_load.record_arrival(arrive);
+                }
+            }
+        }
+
+        // Source injection into the first held VC.
+        if m.at_source > 0 {
+            let first = m.path[0];
+            let ch = first.key / self.num_vcs as u32;
+            if first.occ < depth && first.entered < m.length && !self.link_used[ch as usize] {
+                self.link_used[ch as usize] = true;
+                m.path[0].occ += 1;
+                m.path[0].entered += 1;
+                m.at_source -= 1;
+                progressed = true;
+                if m.first_injected.is_none() {
+                    m.first_injected = Some(self.cycle);
+                }
+                if measuring {
+                    let arrive = mesh
+                        .channel_dest(ChannelId(ch))
+                        .expect("held channel has destination");
+                    self.node_load.record_arrival(arrive);
+                }
+                if m.at_source == 0 {
+                    // The tail left the source: free the injection port.
+                    self.injecting[m.src.index()] = None;
+                }
+            }
+        }
+
+        if progressed {
+            m.last_progress = self.cycle;
+        }
+
+        // Release drained tail VCs (the tail flit has passed through).
+        while m.path.len() > 1 {
+            let front = m.path[0];
+            if front.entered == m.length && front.occ == 0 {
+                self.slots[front.key as usize] = None;
+                m.path.pop_front();
+            } else {
+                break;
+            }
+        }
+
+        // Completion.
+        if m.is_complete() {
+            for e in &m.path {
+                self.slots[e.key as usize] = None;
+            }
+            m.path.clear();
+            m.alive = false;
+            self.total_misroutes += m.state.misroutes as u64;
+            let latency = self.cycle + 1 - m.created;
+            let network_latency = self.cycle + 1
+                - m.first_injected
+                    .expect("a completed message must have injected flits");
+            let length = m.length;
+            self.free_list.push(id);
+            if measuring {
+                self.throughput.record_delivery(length);
+                self.latency.record(latency);
+                self.network_latency.record(network_latency);
+            }
+        }
+    }
+
+    /// Watchdog recovery: drop the message's flits, free its VCs, and
+    /// re-inject it from its source with fresh routing state.
+    fn recover(&mut self, id: u32) {
+        self.recoveries += 1;
+        if self.debug_watchdog {
+            let m = &self.msgs[id as usize];
+            let mesh = self.ctx.mesh();
+            let head = self.head_node(m);
+            eprintln!(
+                "[watchdog c={}] msg {} {:?}->{:?} head={:?} at_src={} delivered={} hops={} ring={:?} path_vcs={:?}",
+                self.cycle,
+                id,
+                mesh.coord(m.src),
+                mesh.coord(m.dest),
+                mesh.coord(head),
+                m.at_source,
+                m.delivered,
+                m.state.hops,
+                m.state.ring.map(|r| r.ring),
+                m.path
+                    .iter()
+                    .map(|e| (self.key_channel(e.key), self.key_vc(e.key)))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        let src;
+        {
+            let m = &mut self.msgs[id as usize];
+            for e in &m.path {
+                self.slots[e.key as usize] = None;
+            }
+            m.path.clear();
+            m.at_source = m.length;
+            m.delivered = 0;
+            m.first_injected = None;
+            m.last_progress = self.cycle;
+            m.recoveries += 1;
+            src = m.src;
+        }
+        let state = self.algo.init_message(src, self.msgs[id as usize].dest);
+        self.msgs[id as usize].state = state;
+        // Give the injection port back if this message held it; otherwise
+        // requeue at the front.
+        if self.injecting[src.index()] == Some(id) {
+            // Keeps the port; restarts next cycle from the source.
+        } else {
+            self.injecting[src.index()] = match self.injecting[src.index()] {
+                Some(other) if other != id => {
+                    // Port busy with another message: requeue this one.
+                    self.queues[src.index()].push_front(id);
+                    // Remove from active; re-promoted later.
+                    self.msgs[id as usize].alive = true;
+                    self.active.retain(|&x| x != id);
+                    return;
+                }
+                _ => Some(id),
+            };
+            if !self.active.contains(&id) {
+                self.active.push(id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormsim_fault::FaultPattern;
+    use wormsim_routing::{build_algorithm, AlgorithmKind, VcConfig};
+    use wormsim_topology::{Coord, Mesh, Rect};
+
+    fn make_sim(
+        kind: AlgorithmKind,
+        pattern: FaultPattern,
+        rate: f64,
+        cfg: SimConfig,
+    ) -> Simulator {
+        let mesh = Mesh::square(10);
+        let ctx = Arc::new(RoutingContext::new(mesh, pattern));
+        let algo = build_algorithm(kind, ctx.clone(), VcConfig::paper());
+        let mut wl = Workload::paper_uniform(rate);
+        wl.message_length = 20;
+        Simulator::new(algo, ctx, wl, cfg)
+    }
+
+    fn fault_free() -> FaultPattern {
+        FaultPattern::fault_free(&Mesh::square(10))
+    }
+
+    #[test]
+    fn single_message_delivery_and_latency() {
+        let mut sim = make_sim(AlgorithmKind::Duato, fault_free(), 0.0, SimConfig::quick());
+        let mesh = Mesh::square(10);
+        let (src, dest) = (mesh.node(0, 0), mesh.node(5, 0));
+        let id = sim.inject_message(src, dest);
+        assert!(sim.run_until_drained(1000));
+        assert!(sim.is_delivered(id));
+        // Uncontended wormhole: latency ≈ distance + length.
+        // (Delivery isn't recorded in latency stats during warm-up; check
+        // via drain cycles instead.)
+        assert!(sim.cycle() >= 5 + 20);
+        assert!(sim.cycle() < 5 + 20 + 10, "took {} cycles", sim.cycle());
+    }
+
+    #[test]
+    fn every_algorithm_delivers_on_fault_free_mesh() {
+        let mesh = Mesh::square(10);
+        for kind in AlgorithmKind::ALL {
+            let mut sim = make_sim(kind, fault_free(), 0.0, SimConfig::quick());
+            let ids = vec![
+                sim.inject_message(mesh.node(0, 0), mesh.node(9, 9)),
+                sim.inject_message(mesh.node(9, 0), mesh.node(0, 9)),
+                sim.inject_message(mesh.node(5, 5), mesh.node(2, 7)),
+            ];
+            assert!(sim.run_until_drained(2_000), "{kind:?} failed to drain");
+            for id in ids {
+                assert!(sim.is_delivered(id), "{kind:?} lost a message");
+            }
+            assert_eq!(sim.recoveries(), 0, "{kind:?} tripped the watchdog");
+        }
+    }
+
+    #[test]
+    fn delivery_around_fault_block() {
+        let mesh = Mesh::square(10);
+        let pattern =
+            FaultPattern::from_rects(&mesh, &[Rect::new(Coord::new(4, 4), Coord::new(5, 6))])
+                .unwrap();
+        for kind in AlgorithmKind::ALL {
+            let mut sim = make_sim(kind, pattern.clone(), 0.0, SimConfig::quick());
+            // Straight-line route blocked by the region.
+            let id = sim.inject_message(mesh.node(3, 5), mesh.node(8, 5));
+            assert!(sim.run_until_drained(3_000), "{kind:?} failed to drain");
+            assert!(sim.is_delivered(id), "{kind:?} lost the message");
+        }
+    }
+
+    #[test]
+    fn wormhole_pipelining_rate() {
+        // A lone message's tail should arrive ~1 flit/cycle after the head:
+        // total ≈ dist + L, not dist × L.
+        let mut sim = make_sim(AlgorithmKind::NHop, fault_free(), 0.0, SimConfig::quick());
+        let mesh = Mesh::square(10);
+        sim.inject_message(mesh.node(0, 0), mesh.node(9, 9));
+        assert!(sim.run_until_drained(200));
+        assert!(sim.cycle() < 18 + 20 + 10);
+    }
+
+    #[test]
+    fn stochastic_run_produces_stats() {
+        let cfg = SimConfig {
+            warmup_cycles: 500,
+            measure_cycles: 2_000,
+            ..SimConfig::paper()
+        };
+        let mut sim = make_sim(AlgorithmKind::Duato, fault_free(), 0.002, cfg);
+        let report = sim.run();
+        assert!(report.throughput.messages_delivered() > 50);
+        assert!(report.latency.count() > 0);
+        assert!(report.mean_latency() >= 20.0);
+        assert_eq!(report.recoveries, 0);
+        // VC usage should show some busy channels.
+        assert!(report.vc_usage.utilization().iter().sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = SimConfig {
+            warmup_cycles: 200,
+            measure_cycles: 800,
+            ..SimConfig::paper()
+        };
+        let run = |seed: u64| {
+            let mut sim = make_sim(AlgorithmKind::Nbc, fault_free(), 0.003, cfg.with_seed(seed));
+            let r = sim.run();
+            (
+                r.throughput.messages_delivered(),
+                r.latency.count(),
+                r.mean_latency(),
+            )
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn faulty_nodes_never_generate_or_receive() {
+        let mesh = Mesh::square(10);
+        let pattern = FaultPattern::from_faulty_coords(&mesh, [Coord::new(5, 5)]).unwrap();
+        let cfg = SimConfig {
+            warmup_cycles: 100,
+            measure_cycles: 1_000,
+            ..SimConfig::paper()
+        };
+        let mut sim = make_sim(AlgorithmKind::FullyAdaptive, pattern, 0.004, cfg);
+        let report = sim.run();
+        // The faulty node must see zero flit arrivals.
+        assert_eq!(report.node_load.arrivals()[mesh.node(5, 5).index()], 0);
+        assert!(report.throughput.messages_delivered() > 0);
+    }
+
+    #[test]
+    fn link_bandwidth_is_respected() {
+        // Two messages sharing a column of links: delivered flits over N
+        // cycles can't exceed N per link. Indirect check: drain time for
+        // two overlapping 20-flit messages along one path ≥ 40 cycles.
+        let mut sim = make_sim(
+            AlgorithmKind::MinimalAdaptive,
+            fault_free(),
+            0.0,
+            SimConfig::quick(),
+        );
+        let mesh = Mesh::square(10);
+        sim.inject_message(mesh.node(0, 5), mesh.node(9, 5));
+        sim.inject_message(mesh.node(0, 5), mesh.node(9, 5));
+        assert!(sim.run_until_drained(500));
+        // Single injection port: second message starts after the first's
+        // tail leaves the source (~20 cycles); then pipelines behind it.
+        assert!(sim.cycle() >= 2 * 20, "finished too fast: {}", sim.cycle());
+    }
+
+    #[test]
+    fn report_includes_ring_load_only_with_faults() {
+        let mesh = Mesh::square(10);
+        let mut sim = make_sim(AlgorithmKind::Duato, fault_free(), 0.0, SimConfig::quick());
+        sim.inject_message(mesh.node(0, 0), mesh.node(1, 0));
+        sim.run_until_drained(100);
+        assert!(sim.report().ring_load.is_none());
+
+        let pattern = FaultPattern::from_faulty_coords(&mesh, [Coord::new(5, 5)]).unwrap();
+        let mut sim = make_sim(AlgorithmKind::Duato, pattern, 0.0, SimConfig::quick());
+        sim.inject_message(mesh.node(0, 0), mesh.node(1, 0));
+        sim.run_until_drained(100);
+        assert!(sim.report().ring_load.is_some());
+    }
+
+    #[test]
+    fn invariants_hold_every_cycle_under_load() {
+        let cfg = SimConfig {
+            warmup_cycles: 0,
+            measure_cycles: 1_500,
+            ..SimConfig::paper()
+        };
+        for kind in [
+            AlgorithmKind::Duato,
+            AlgorithmKind::PHop,
+            AlgorithmKind::FullyAdaptive,
+        ] {
+            let mut sim = make_sim(kind, fault_free(), 0.01, cfg);
+            for _ in 0..1_500 {
+                sim.step();
+                sim.check_invariants();
+            }
+        }
+    }
+
+    #[test]
+    fn invariants_hold_with_faults_and_recovery() {
+        let mesh = Mesh::square(10);
+        let pattern =
+            FaultPattern::from_rects(&mesh, &[Rect::new(Coord::new(4, 4), Coord::new(5, 6))])
+                .unwrap();
+        let cfg = SimConfig {
+            warmup_cycles: 0,
+            measure_cycles: 1_500,
+            deadlock_timeout: 300, // force some recoveries
+            ..SimConfig::paper()
+        };
+        let mut sim = make_sim(AlgorithmKind::MinimalAdaptive, pattern, 0.01, cfg);
+        for _ in 0..1_500 {
+            sim.step();
+            sim.check_invariants();
+        }
+    }
+
+    #[test]
+    fn overlay_hops_counted_only_with_faults() {
+        let mesh = Mesh::square(10);
+        let mut sim = make_sim(AlgorithmKind::NHop, fault_free(), 0.0, SimConfig::quick());
+        sim.inject_message(mesh.node(0, 5), mesh.node(9, 5));
+        sim.run_until_drained(500);
+        assert_eq!(sim.report().ring_hops, 0);
+
+        let pattern =
+            FaultPattern::from_rects(&mesh, &[Rect::new(Coord::new(4, 4), Coord::new(5, 6))])
+                .unwrap();
+        let mut sim = make_sim(AlgorithmKind::NHop, pattern, 0.0, SimConfig::quick());
+        sim.inject_message(mesh.node(3, 5), mesh.node(8, 5));
+        sim.run_until_drained(1_000);
+        assert!(sim.report().ring_hops > 0, "detour must use overlay VCs");
+    }
+
+    #[test]
+    fn misroutes_reported_for_fully_adaptive() {
+        let cfg = SimConfig {
+            warmup_cycles: 0,
+            measure_cycles: 4_000,
+            ..SimConfig::paper()
+        };
+        let mut sim = make_sim(AlgorithmKind::FullyAdaptive, fault_free(), 0.01, cfg);
+        let r = sim.run();
+        // At saturation some messages misroute; the counter must move.
+        // (Not asserting a magnitude — just that wiring works and minimal
+        // algorithms stay at zero.)
+        let _ = r.total_misroutes;
+        let mut sim = make_sim(AlgorithmKind::MinimalAdaptive, fault_free(), 0.01, cfg);
+        assert_eq!(sim.run().total_misroutes, 0);
+    }
+
+    #[test]
+    fn injection_port_serializes_messages() {
+        let mut sim = make_sim(AlgorithmKind::Duato, fault_free(), 0.0, SimConfig::quick());
+        let mesh = Mesh::square(10);
+        for _ in 0..5 {
+            sim.inject_message(mesh.node(2, 2), mesh.node(7, 7));
+        }
+        assert!(sim.run_until_drained(2_000));
+        // 5 messages × 20 flits through one injection port ≥ 100 cycles.
+        assert!(sim.cycle() >= 100);
+    }
+}

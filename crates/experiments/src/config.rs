@@ -1,0 +1,96 @@
+//! Experiment-level configuration.
+
+use serde::{Deserialize, Serialize};
+use wormsim_engine::SimConfig;
+use wormsim_routing::VcConfig;
+
+/// How much compute to spend: `Paper` mirrors the paper's §5 schedule;
+/// `Quick` is a minutes-scale smoke version with the same structure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Scale {
+    /// Short warm-up/measurement, few fault patterns. CI-sized.
+    Quick,
+    /// The paper's 30 000-cycle schedule and 10 fault sets per case.
+    Paper,
+}
+
+/// Shared configuration for all figure runs.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Mesh radix (paper: 10 → 10×10).
+    pub mesh_size: u16,
+    /// VC budget (paper: 24 with 4 BC VCs).
+    pub vc: VcConfig,
+    /// Engine schedule.
+    pub sim: SimConfig,
+    /// Random fault patterns averaged per fault case (paper: 10 for the
+    /// performance study).
+    pub fault_patterns: usize,
+    /// Worker threads for the sweep fan-out.
+    pub threads: usize,
+    /// Every stochastic choice in the harness derives from this.
+    pub base_seed: u64,
+}
+
+impl ExperimentConfig {
+    /// Build a configuration at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        let (sim, fault_patterns) = match scale {
+            Scale::Quick => (
+                SimConfig {
+                    warmup_cycles: 1_000,
+                    measure_cycles: 4_000,
+                    ..SimConfig::paper()
+                },
+                3,
+            ),
+            Scale::Paper => (SimConfig::paper(), 10),
+        };
+        ExperimentConfig {
+            mesh_size: 10,
+            vc: VcConfig::paper(),
+            sim,
+            fault_patterns,
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4),
+            base_seed: 0xC0FFEE,
+        }
+    }
+
+    /// Builder-style thread override.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_differ_in_schedule() {
+        let q = ExperimentConfig::new(Scale::Quick);
+        let p = ExperimentConfig::new(Scale::Paper);
+        assert!(q.sim.total_cycles() < p.sim.total_cycles());
+        assert_eq!(p.sim.warmup_cycles, 10_000);
+        assert_eq!(p.fault_patterns, 10);
+        assert_eq!(q.mesh_size, 10);
+    }
+
+    #[test]
+    fn builders() {
+        let c = ExperimentConfig::new(Scale::Quick)
+            .with_threads(2)
+            .with_seed(9);
+        assert_eq!(c.threads, 2);
+        assert_eq!(c.base_seed, 9);
+    }
+}

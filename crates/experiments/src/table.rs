@@ -1,0 +1,224 @@
+//! Tabular figure data with Markdown and CSV rendering.
+
+use serde::{Deserialize, Serialize};
+
+/// A labeled 2-D table of floats: one row per sweep point, one column per
+/// series (algorithm).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Label of the row key (e.g. "rate", "faults %").
+    pub row_label: String,
+    /// Column (series) names.
+    pub columns: Vec<String>,
+    /// `(row key, values)` — `values.len() == columns.len()`.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        row_label: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        Table {
+            title: title.into(),
+            row_label: row_label.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; panics if the width disagrees with the header.
+    pub fn push_row(&mut self, key: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((key.into(), values));
+    }
+
+    /// Value lookup by row key and column name.
+    pub fn get(&self, row: &str, column: &str) -> Option<f64> {
+        let c = self.columns.iter().position(|n| n == column)?;
+        let (_, values) = self.rows.iter().find(|(k, _)| k == row)?;
+        Some(values[c])
+    }
+
+    /// A whole column by name.
+    pub fn column(&self, column: &str) -> Option<Vec<f64>> {
+        let c = self.columns.iter().position(|n| n == column)?;
+        Some(self.rows.iter().map(|(_, v)| v[c]).collect())
+    }
+
+    /// Render as GitHub-flavored Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |", self.row_label));
+        for c in &self.columns {
+            out.push_str(&format!(" {c} |"));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &self.columns {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for (key, values) in &self.rows {
+            out.push_str(&format!("| {key} |"));
+            for v in values {
+                out.push_str(&format!(" {} |", fmt_value(*v)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (header row + data rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.row_label.replace(',', ";"));
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(&c.replace(',', ";"));
+        }
+        out.push('\n');
+        for (key, values) in &self.rows {
+            out.push_str(&key.replace(',', ";"));
+            for v in values {
+                out.push_str(&format!(",{v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Table {
+    /// Render the table as a terminal braille line chart: the row keys are
+    /// parsed as x values (their numeric prefix; falling back to the row
+    /// index), each column becomes a series.
+    pub fn to_line_chart(&self, width: usize, height: usize) -> String {
+        let xs: Vec<f64> = self
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, (key, _))| parse_numeric_prefix(key).unwrap_or(i as f64))
+            .collect();
+        let mut chart = wormsim_viz::LineChart::new(width, height).with_title(self.title.clone());
+        for (ci, name) in self.columns.iter().enumerate() {
+            let points: Vec<(f64, f64)> = self
+                .rows
+                .iter()
+                .enumerate()
+                .map(|(ri, (_, values))| (xs[ri], values[ci]))
+                .collect();
+            chart = chart.with_series(wormsim_viz::Series::new(name.clone(), points));
+        }
+        chart.render()
+    }
+
+    /// Render the table as a horizontal bar chart: one entry per row, one
+    /// bar per column.
+    pub fn to_bar_chart(&self, width: usize) -> String {
+        let mut bars = wormsim_viz::BarChart::new(width)
+            .with_title(self.title.clone())
+            .with_series_names(self.columns.clone());
+        for (key, values) in &self.rows {
+            bars.push(key.clone(), values.clone());
+        }
+        bars.render()
+    }
+}
+
+/// Parse the leading numeric portion of a row key ("0.0051", "5%", "24",
+/// "10×10" → 0.0051, 5, 24, 10).
+fn parse_numeric_prefix(s: &str) -> Option<f64> {
+    let end = s
+        .char_indices()
+        .take_while(|(_, c)| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .map(|(i, c)| i + c.len_utf8())
+        .last()?;
+    s[..end].parse().ok()
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "—".to_string()
+    } else if v == 0.0 || v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new("Test", "rate", vec!["A".into(), "B".into()]);
+        t.push_row("0.001", vec![0.5, 1500.0]);
+        t.push_row("0.002", vec![f64::NAN, 2.25]);
+        t
+    }
+
+    #[test]
+    fn lookup() {
+        let t = table();
+        assert_eq!(t.get("0.001", "A"), Some(0.5));
+        assert_eq!(t.get("0.002", "B"), Some(2.25));
+        assert_eq!(t.get("0.003", "A"), None);
+        assert_eq!(t.get("0.001", "C"), None);
+        assert_eq!(t.column("B"), Some(vec![1500.0, 2.25]));
+    }
+
+    #[test]
+    fn markdown_format() {
+        let md = table().to_markdown();
+        assert!(md.contains("### Test"));
+        assert!(md.contains("| rate | A | B |"));
+        assert!(md.contains("| 0.001 | 0.5000 | 1500.0 |"));
+        assert!(md.contains("—"), "NaN rendered as em dash");
+    }
+
+    #[test]
+    fn csv_format() {
+        let csv = table().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("rate,A,B"));
+        assert_eq!(lines.next(), Some("0.001,0.5,1500"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("t", "r", vec!["A".into()]);
+        t.push_row("x", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn numeric_prefix_parsing() {
+        assert_eq!(parse_numeric_prefix("0.0051"), Some(0.0051));
+        assert_eq!(parse_numeric_prefix("5%"), Some(5.0));
+        assert_eq!(parse_numeric_prefix("10×10"), Some(10.0));
+        assert_eq!(parse_numeric_prefix("VC12"), None);
+    }
+
+    #[test]
+    fn line_chart_renders_series() {
+        let chart = table().to_line_chart(40, 8);
+        assert!(chart.contains("Test"));
+        assert!(chart.contains("series: A, B"));
+    }
+
+    #[test]
+    fn bar_chart_renders_rows() {
+        let bars = table().to_bar_chart(20);
+        assert!(bars.contains("0.001"));
+        assert!(bars.contains("[A]"));
+        assert!(bars.contains('—'), "NaN shown as dash");
+    }
+}

@@ -1,0 +1,233 @@
+//! Boura–Das node labeling (paper ref [7]).
+//!
+//! Boura and Das tolerate faults by *labeling* nodes rather than building
+//! f-rings: a healthy node becomes **unsafe** when faults hem it in enough
+//! that messages routed through it may be trapped — operationally, when two
+//! or more of its neighbors are faulty or unsafe. Iterating this rule to a
+//! fixpoint fills in one-wide slots and concave pockets between fault
+//! clusters; messages are then routed adaptively in the remaining *safe*
+//! region, treating unsafe nodes as obstacles.
+
+use crate::pattern::FaultPattern;
+use serde::{Deserialize, Serialize};
+use wormsim_topology::{Mesh, NodeId, ALL_DIRECTIONS};
+
+/// The label assigned to each node by the Boura–Das procedure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum NodeLabel {
+    /// Healthy and routable-through.
+    Safe,
+    /// Healthy but excluded from routing (may cause routing difficulty).
+    Unsafe,
+    /// Failed (or disabled by the block model).
+    Faulty,
+}
+
+/// The complete labeling of a mesh under a fault pattern.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NodeLabeling {
+    labels: Vec<NodeLabel>,
+    num_unsafe: usize,
+}
+
+impl NodeLabeling {
+    /// Run the labeling to fixpoint: a safe node with ≥ 2 faulty/unsafe
+    /// neighbors becomes unsafe. The mesh boundary does not count as a
+    /// blocked neighbor.
+    pub fn compute(mesh: &Mesh, pattern: &FaultPattern) -> Self {
+        let mut labels: Vec<NodeLabel> = mesh
+            .nodes()
+            .map(|n| {
+                if pattern.is_faulty(n) {
+                    NodeLabel::Faulty
+                } else {
+                    NodeLabel::Safe
+                }
+            })
+            .collect();
+        loop {
+            let mut changed = false;
+            for n in mesh.nodes() {
+                if labels[n.index()] != NodeLabel::Safe {
+                    continue;
+                }
+                let blocked = ALL_DIRECTIONS
+                    .iter()
+                    .filter_map(|&d| mesh.neighbor(n, d))
+                    .filter(|v| labels[v.index()] != NodeLabel::Safe)
+                    .count();
+                if blocked >= 2 {
+                    labels[n.index()] = NodeLabel::Unsafe;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let num_unsafe = labels.iter().filter(|&&l| l == NodeLabel::Unsafe).count();
+        NodeLabeling { labels, num_unsafe }
+    }
+
+    /// The label of node `n`.
+    #[inline]
+    pub fn label(&self, n: NodeId) -> NodeLabel {
+        self.labels[n.index()]
+    }
+
+    /// Whether `n` may route traffic (is `Safe`).
+    #[inline]
+    pub fn is_safe(&self, n: NodeId) -> bool {
+        self.labels[n.index()] == NodeLabel::Safe
+    }
+
+    /// Number of healthy nodes labeled `Unsafe`.
+    pub fn num_unsafe(&self) -> usize {
+        self.num_unsafe
+    }
+
+    /// Whether the safe subgraph is connected (required for the Boura–Das
+    /// scheme to deliver between all safe nodes).
+    pub fn safe_connected(&self, mesh: &Mesh) -> bool {
+        let Some(start) = mesh.nodes().find(|&n| self.is_safe(n)) else {
+            return false;
+        };
+        let total = self
+            .labels
+            .iter()
+            .filter(|&&l| l == NodeLabel::Safe)
+            .count();
+        let mut seen = vec![false; mesh.num_nodes()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[start.index()] = true;
+        queue.push_back(start);
+        let mut visited = 1usize;
+        while let Some(u) = queue.pop_front() {
+            for d in ALL_DIRECTIONS {
+                if let Some(v) = mesh.neighbor(u, d) {
+                    if self.is_safe(v) && !seen[v.index()] {
+                        seen[v.index()] = true;
+                        visited += 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        visited == total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormsim_topology::{Coord, Rect};
+
+    #[test]
+    fn fault_free_all_safe() {
+        let m = Mesh::square(10);
+        let p = FaultPattern::fault_free(&m);
+        let l = NodeLabeling::compute(&m, &p);
+        assert_eq!(l.num_unsafe(), 0);
+        assert!(m.nodes().all(|n| l.is_safe(n)));
+        assert!(l.safe_connected(&m));
+    }
+
+    #[test]
+    fn single_fault_creates_no_unsafe() {
+        let m = Mesh::square(10);
+        let p = FaultPattern::from_faulty_coords(&m, [Coord::new(5, 5)]).unwrap();
+        let l = NodeLabeling::compute(&m, &p);
+        assert_eq!(l.num_unsafe(), 0);
+        assert_eq!(l.label(m.node(5, 5)), NodeLabel::Faulty);
+    }
+
+    #[test]
+    fn one_wide_slot_between_blocks_becomes_unsafe() {
+        let m = Mesh::square(10);
+        // Two 1x3 wall blocks with a one-node-wide slot (column 4) between.
+        let p = FaultPattern::from_rects(
+            &m,
+            &[
+                Rect::new(Coord::new(3, 4), Coord::new(3, 6)),
+                Rect::new(Coord::new(5, 4), Coord::new(5, 6)),
+            ],
+        )
+        .unwrap();
+        let l = NodeLabeling::compute(&m, &p);
+        for y in 4..=6 {
+            assert_eq!(
+                l.label(m.node(4, y)),
+                NodeLabel::Unsafe,
+                "slot cell (4,{y}) should be unsafe"
+            );
+        }
+        // Cells just outside the slot stay safe (only one blocked neighbor).
+        assert!(l.is_safe(m.node(4, 7)));
+        assert!(l.is_safe(m.node(4, 3)));
+        assert!(l.safe_connected(&m));
+    }
+
+    #[test]
+    fn diagonal_blocks_leave_corner_safe() {
+        let m = Mesh::square(12);
+        // 1x1 blocks kitty-corner at Chebyshev distance 2: every healthy
+        // node has at most one faulty neighbor, so no unsafe labels.
+        let p = FaultPattern::from_rects(
+            &m,
+            &[Rect::point(Coord::new(4, 4)), Rect::point(Coord::new(6, 6))],
+        )
+        .unwrap();
+        let l = NodeLabeling::compute(&m, &p);
+        assert_eq!(l.num_unsafe(), 0);
+    }
+
+    #[test]
+    fn cascade_fills_pocket() {
+        let m = Mesh::square(12);
+        // U-shaped cavity built from three walls around columns 4..6:
+        // west wall x=3, east wall x=7, floor y=3 (x=4..6 is the cavity
+        // mouth at the top). Walls are Chebyshev distance >1 from each
+        // other? x=3 wall to floor (4..6,3): Chebyshev distance 1 → they
+        // coalesce into one block. Use a labeling-only scenario instead:
+        // walls x=3 and x=5 (slot col 4), then extend: after the slot
+        // becomes unsafe, the cell above a 2-blocked-by-unsafe spot
+        // cascades only if it sees two non-safe neighbors.
+        let p = FaultPattern::from_rects(
+            &m,
+            &[
+                Rect::new(Coord::new(3, 2), Coord::new(3, 6)),
+                Rect::new(Coord::new(5, 2), Coord::new(5, 6)),
+                Rect::new(Coord::new(4, 8), Coord::new(4, 8)),
+            ],
+        )
+        .unwrap();
+        let l = NodeLabeling::compute(&m, &p);
+        // Slot cells (4, 2..=6) are unsafe directly.
+        for y in 2..=6 {
+            assert_eq!(l.label(m.node(4, y)), NodeLabel::Unsafe);
+        }
+        // (4,7) sees unsafe (4,6) below and faulty (4,8) above → cascades.
+        assert_eq!(l.label(m.node(4, 7)), NodeLabel::Unsafe);
+        assert!(l.safe_connected(&m));
+    }
+
+    #[test]
+    fn unsafe_count_matches_labels() {
+        let m = Mesh::square(10);
+        let p = FaultPattern::from_rects(
+            &m,
+            &[
+                Rect::new(Coord::new(2, 2), Coord::new(2, 4)),
+                Rect::new(Coord::new(4, 2), Coord::new(4, 4)),
+            ],
+        )
+        .unwrap();
+        let l = NodeLabeling::compute(&m, &p);
+        let counted = m
+            .nodes()
+            .filter(|&n| l.label(n) == NodeLabel::Unsafe)
+            .count();
+        assert_eq!(l.num_unsafe(), counted);
+        assert!(l.num_unsafe() >= 3);
+    }
+}

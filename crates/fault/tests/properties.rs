@@ -1,0 +1,172 @@
+//! Property-based tests for the fault model: convexity, coalescing,
+//! connectivity, and f-ring invariants over random fault sets.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wormsim_fault::{FRingSet, FaultPattern, NodeLabeling, Orientation};
+use wormsim_topology::{Mesh, NodeId, ALL_DIRECTIONS};
+
+/// Independent BFS oracle for healthy-subgraph connectivity.
+fn connected_oracle(mesh: &Mesh, pattern: &FaultPattern) -> bool {
+    let healthy: Vec<NodeId> = pattern.healthy_nodes(mesh).collect();
+    let Some(&start) = healthy.first() else {
+        return false;
+    };
+    let mut seen = std::collections::HashSet::new();
+    let mut stack = vec![start];
+    seen.insert(start);
+    while let Some(u) = stack.pop() {
+        for d in ALL_DIRECTIONS {
+            if let Some(v) = mesh.neighbor(u, d) {
+                if !pattern.is_faulty(v) && seen.insert(v) {
+                    stack.push(v);
+                }
+            }
+        }
+    }
+    seen.len() == healthy.len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_patterns_satisfy_block_model(seed in any::<u64>(), faults in 1usize..=10) {
+        let mesh = Mesh::square(10);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let Ok(pattern) = wormsim_fault::random_pattern(&mesh, faults, &mut rng) else {
+            // Generation may exhaust its attempt budget for unlucky seeds;
+            // that is an explicit, accepted outcome.
+            return Ok(());
+        };
+        // Every seed fault is inside some region.
+        for n in mesh.nodes() {
+            if pattern.is_seed_faulty(n) {
+                prop_assert!(pattern.region_of(n).is_some());
+            }
+        }
+        // Regions are convex (all covered nodes faulty) and pairwise
+        // non-touching.
+        let regions = pattern.regions();
+        for (i, r) in regions.iter().enumerate() {
+            for c in r.coords() {
+                let n = mesh.node_at(c);
+                prop_assert!(pattern.is_faulty(n));
+                prop_assert_eq!(pattern.region_of(n), Some(i));
+            }
+            for other in regions.iter().skip(i + 1) {
+                prop_assert!(!r.touches(other));
+            }
+        }
+        // Faulty set is exactly the union of regions.
+        let union_area: u32 = regions.iter().map(|r| r.area()).sum();
+        prop_assert_eq!(union_area as usize, pattern.num_faulty());
+        // Connectivity invariant upheld, and it matches the oracle.
+        prop_assert!(pattern.healthy_connected(&mesh));
+        prop_assert!(connected_oracle(&mesh, &pattern));
+    }
+
+    #[test]
+    fn rings_enclose_regions(seed in any::<u64>(), faults in 1usize..=10) {
+        let mesh = Mesh::square(10);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let Ok(pattern) = wormsim_fault::random_pattern(&mesh, faults, &mut rng) else {
+            return Ok(());
+        };
+        let rings = FRingSet::build(&mesh, &pattern);
+        prop_assert_eq!(rings.rings().len(), pattern.regions().len());
+        for (i, ring) in rings.rings().iter().enumerate() {
+            let rect = pattern.regions()[i];
+            prop_assert!(!ring.is_empty());
+            for &n in ring.nodes() {
+                // Ring nodes are healthy and Chebyshev-adjacent to the
+                // region (inside the dilated rectangle, outside the region).
+                prop_assert!(!pattern.is_faulty(n));
+                let c = mesh.coord(n);
+                prop_assert!(rect.dilate().contains(c));
+                prop_assert!(!rect.contains(c));
+                // Membership index agrees.
+                prop_assert!(rings.positions_of(n).iter().any(|p| p.ring == i));
+            }
+            // Consecutive ring nodes are mesh-adjacent; closed rings wrap.
+            let nodes = ring.nodes();
+            for w in nodes.windows(2) {
+                prop_assert_eq!(mesh.distance(w[0], w[1]), 1);
+            }
+            if ring.is_closed() {
+                prop_assert_eq!(mesh.distance(nodes[0], nodes[nodes.len() - 1]), 1);
+                // A closed ring exists iff the dilated rect fits the mesh.
+                let d = rect.dilate();
+                prop_assert!(d.max.x < mesh.width() && d.max.y < mesh.height());
+                prop_assert!(rect.min.x > 0 && rect.min.y > 0);
+            }
+            // Full traversal returns to the start on closed rings.
+            if ring.is_closed() {
+                let mut pos = 0u16;
+                for _ in 0..ring.len() {
+                    let (_, np) = ring.next(pos, Orientation::Clockwise).unwrap();
+                    pos = np;
+                }
+                prop_assert_eq!(pos, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn labeling_is_a_fixpoint(seed in any::<u64>(), faults in 0usize..=10) {
+        let mesh = Mesh::square(10);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pattern = if faults == 0 {
+            FaultPattern::fault_free(&mesh)
+        } else {
+            match wormsim_fault::random_pattern(&mesh, faults, &mut rng) {
+                Ok(p) => p,
+                Err(_) => return Ok(()),
+            }
+        };
+        let labeling = NodeLabeling::compute(&mesh, &pattern);
+        for n in mesh.nodes() {
+            if labeling.is_safe(n) {
+                // Fixpoint: no safe node has two or more non-safe neighbors.
+                let blocked = ALL_DIRECTIONS
+                    .iter()
+                    .filter_map(|&d| mesh.neighbor(n, d))
+                    .filter(|v| !labeling.is_safe(*v))
+                    .count();
+                prop_assert!(blocked < 2, "safe node with {blocked} blocked neighbors");
+            }
+            // Faulty nodes are labeled faulty; labels partition the nodes.
+            prop_assert_eq!(
+                pattern.is_faulty(n),
+                labeling.label(n) == wormsim_fault::NodeLabel::Faulty
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_coords_roundtrip(coords in proptest::collection::btree_set((0u16..10, 0u16..10), 1..8)) {
+        let mesh = Mesh::square(10);
+        let coords: Vec<_> = coords
+            .into_iter()
+            .map(|(x, y)| wormsim_topology::Coord::new(x, y))
+            .collect();
+        match FaultPattern::from_faulty_coords(&mesh, coords.iter().copied()) {
+            Ok(pattern) => {
+                for c in &coords {
+                    prop_assert!(pattern.is_seed_faulty(mesh.node_at(*c)));
+                }
+                prop_assert!(pattern.num_faulty() >= coords.len());
+                prop_assert!(pattern.healthy_connected(&mesh));
+            }
+            Err(e) => {
+                // The only legal failures for in-bounds inputs.
+                prop_assert!(matches!(
+                    e,
+                    wormsim_fault::PatternError::Disconnects
+                        | wormsim_fault::PatternError::AllFaulty
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Per-virtual-channel utilization (paper Figure 3).
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates, per VC index, the number of (physical channel × cycle)
+/// slots in which that VC was held by a message. Normalizing by the number
+/// of existing physical channels and measured cycles yields the paper's
+/// "average usage of virtual channels".
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct VcUsageStats {
+    busy: Vec<u64>,
+    channels: u64,
+    cycles: u64,
+}
+
+impl VcUsageStats {
+    /// Accumulator for `num_vcs` VC indices over `channels` physical
+    /// channels.
+    pub fn new(num_vcs: u8, channels: usize) -> Self {
+        VcUsageStats {
+            busy: vec![0; num_vcs as usize],
+            channels: channels as u64,
+            cycles: 0,
+        }
+    }
+
+    /// Record that VC `vc` (on some channel) was busy this cycle.
+    #[inline]
+    pub fn record_busy(&mut self, vc: u8) {
+        self.busy[vc as usize] += 1;
+    }
+
+    /// Advance the measured-cycle count.
+    #[inline]
+    pub fn tick(&mut self) {
+        self.cycles += 1;
+    }
+
+    /// Number of VC indices tracked.
+    pub fn num_vcs(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Busy-slot counts per VC index.
+    pub fn busy_counts(&self) -> &[u64] {
+        &self.busy
+    }
+
+    /// Utilization fraction (0..=1) of each VC index, averaged over all
+    /// physical channels and measured cycles.
+    pub fn utilization(&self) -> Vec<f64> {
+        let denom = (self.channels * self.cycles) as f64;
+        self.busy
+            .iter()
+            .map(|&b| if denom > 0.0 { b as f64 / denom } else { 0.0 })
+            .collect()
+    }
+
+    /// Utilization as percentages (the paper's Fig 3 y-axis).
+    pub fn utilization_percent(&self) -> Vec<f64> {
+        self.utilization().into_iter().map(|u| u * 100.0).collect()
+    }
+
+    /// Coefficient of variation of the per-VC utilizations — a scalar
+    /// "balance" measure (0 = perfectly even use; large = a few VCs hog).
+    pub fn imbalance(&self) -> f64 {
+        let u = self.utilization();
+        let mean = u.iter().sum::<f64>() / u.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = u.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / u.len() as f64;
+        var.sqrt() / mean
+    }
+
+    /// Merge another accumulator (same shape) into this one.
+    pub fn merge(&mut self, other: &VcUsageStats) {
+        assert_eq!(self.busy.len(), other.busy.len());
+        assert_eq!(self.channels, other.channels);
+        for (a, b) in self.busy.iter_mut().zip(&other.busy) {
+            *a += b;
+        }
+        self.cycles += other.cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_normalizes_by_channels_and_cycles() {
+        let mut v = VcUsageStats::new(4, 10);
+        for _ in 0..100 {
+            v.tick();
+        }
+        // VC 0 busy on 5 channels for all 100 cycles.
+        for _ in 0..500 {
+            v.record_busy(0);
+        }
+        let u = v.utilization();
+        assert!((u[0] - 0.5).abs() < 1e-12);
+        assert_eq!(u[1], 0.0);
+        assert_eq!(v.utilization_percent()[0], 50.0);
+    }
+
+    #[test]
+    fn imbalance_zero_when_even() {
+        let mut v = VcUsageStats::new(3, 1);
+        v.tick();
+        for vc in 0..3 {
+            v.record_busy(vc);
+        }
+        assert!(v.imbalance() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_positive_when_skewed() {
+        let mut v = VcUsageStats::new(3, 1);
+        v.tick();
+        v.record_busy(0);
+        assert!(v.imbalance() > 1.0);
+    }
+
+    #[test]
+    fn merge_adds_busy_and_cycles() {
+        let mut a = VcUsageStats::new(2, 5);
+        a.tick();
+        a.record_busy(0);
+        let mut b = VcUsageStats::new(2, 5);
+        b.tick();
+        b.record_busy(0);
+        b.record_busy(1);
+        a.merge(&b);
+        assert_eq!(a.busy_counts(), &[2, 1]);
+        let u = a.utilization();
+        assert!((u[0] - 0.2).abs() < 1e-12); // 2 / (5 channels × 2 cycles)
+    }
+}

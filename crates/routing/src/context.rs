@@ -1,0 +1,127 @@
+//! The immutable per-simulation context algorithms route against.
+
+use wormsim_fault::{FRingSet, FaultPattern, NodeLabeling};
+use wormsim_topology::{Direction, DirectionSet, Mesh, NodeId};
+
+/// Everything a routing function needs to know about the network: the mesh,
+/// the (static) fault pattern, the f-rings around its regions, and the
+/// Boura–Das labeling. Built once per simulation and shared via `Arc`.
+#[derive(Clone, Debug)]
+pub struct RoutingContext {
+    mesh: Mesh,
+    pattern: FaultPattern,
+    rings: FRingSet,
+    labeling: NodeLabeling,
+}
+
+impl RoutingContext {
+    /// Build the context (computes f-rings and labeling).
+    pub fn new(mesh: Mesh, pattern: FaultPattern) -> Self {
+        let rings = FRingSet::build(&mesh, &pattern);
+        let labeling = NodeLabeling::compute(&mesh, &pattern);
+        RoutingContext {
+            mesh,
+            pattern,
+            rings,
+            labeling,
+        }
+    }
+
+    /// The mesh.
+    #[inline]
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// The fault pattern.
+    #[inline]
+    pub fn pattern(&self) -> &FaultPattern {
+        &self.pattern
+    }
+
+    /// The f-rings around the pattern's regions.
+    #[inline]
+    pub fn rings(&self) -> &FRingSet {
+        &self.rings
+    }
+
+    /// The Boura–Das node labeling.
+    #[inline]
+    pub fn labeling(&self) -> &NodeLabeling {
+        &self.labeling
+    }
+
+    /// Minimal directions from `node` toward `dest` whose next node is
+    /// fault-free (the paper's "fault-free link along the shortest path").
+    pub fn healthy_minimal_directions(&self, node: NodeId, dest: NodeId) -> DirectionSet {
+        self.mesh
+            .minimal_directions(node, dest)
+            .iter()
+            .filter(|&d| {
+                self.mesh
+                    .neighbor(node, d)
+                    .is_some_and(|v| !self.pattern.is_faulty(v))
+            })
+            .collect()
+    }
+
+    /// Whether a message at `node` heading to `dest` is *blocked by faults*:
+    /// it is not at its destination and every minimal-progress neighbor is
+    /// faulty (paper §3).
+    pub fn blocked_by_fault(&self, node: NodeId, dest: NodeId) -> bool {
+        node != dest
+            && !self.mesh.minimal_directions(node, dest).is_empty()
+            && self.healthy_minimal_directions(node, dest).is_empty()
+    }
+
+    /// Whether moving from `node` in `dir` stays in-mesh and lands on a
+    /// fault-free node.
+    pub fn healthy_step(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
+        self.mesh
+            .neighbor(node, dir)
+            .filter(|&v| !self.pattern.is_faulty(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormsim_topology::Coord;
+
+    #[test]
+    fn fault_free_context() {
+        let mesh = Mesh::square(10);
+        let ctx = RoutingContext::new(mesh.clone(), FaultPattern::fault_free(&mesh));
+        let a = mesh.node(0, 0);
+        let b = mesh.node(9, 9);
+        assert_eq!(ctx.healthy_minimal_directions(a, b).len(), 2);
+        assert!(!ctx.blocked_by_fault(a, b));
+        assert_eq!(ctx.rings().rings().len(), 0);
+    }
+
+    #[test]
+    fn blocked_by_single_fault_straight_line() {
+        let mesh = Mesh::square(10);
+        let pattern = FaultPattern::from_faulty_coords(&mesh, [Coord::new(5, 5)]).unwrap();
+        let ctx = RoutingContext::new(mesh.clone(), pattern);
+        // Message at (4,5) destined to (9,5): only minimal dir is East, into
+        // the fault → blocked.
+        assert!(ctx.blocked_by_fault(mesh.node(4, 5), mesh.node(9, 5)));
+        // Destined to (9,6): North is still healthy → not blocked.
+        assert!(!ctx.blocked_by_fault(mesh.node(4, 5), mesh.node(9, 6)));
+        // At destination → never blocked.
+        assert!(!ctx.blocked_by_fault(mesh.node(4, 5), mesh.node(4, 5)));
+    }
+
+    #[test]
+    fn healthy_step_filters_faults() {
+        let mesh = Mesh::square(10);
+        let pattern = FaultPattern::from_faulty_coords(&mesh, [Coord::new(5, 5)]).unwrap();
+        let ctx = RoutingContext::new(mesh.clone(), pattern);
+        assert!(ctx.healthy_step(mesh.node(4, 5), Direction::East).is_none());
+        assert!(ctx
+            .healthy_step(mesh.node(4, 5), Direction::North)
+            .is_some());
+        assert!(ctx.healthy_step(mesh.node(0, 0), Direction::West).is_none());
+    }
+}

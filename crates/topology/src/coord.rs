@@ -1,0 +1,321 @@
+//! Node coordinates and the four mesh directions.
+
+use serde::{Deserialize, Serialize};
+
+/// A node address `(x, y)` in the mesh, `x` increasing eastward and `y`
+/// increasing northward. `x ∈ [0, width)`, `y ∈ [0, height)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Coord {
+    /// Column (dimension 0).
+    pub x: u16,
+    /// Row (dimension 1).
+    pub y: u16,
+}
+
+impl Coord {
+    /// Construct a coordinate.
+    #[inline]
+    pub const fn new(x: u16, y: u16) -> Self {
+        Coord { x, y }
+    }
+
+    /// Manhattan (L1) distance between two coordinates — the minimal hop
+    /// count between the corresponding mesh nodes.
+    #[inline]
+    pub fn manhattan(self, other: Coord) -> u32 {
+        self.x.abs_diff(other.x) as u32 + self.y.abs_diff(other.y) as u32
+    }
+
+    /// The coordinate one step in `dir`, without bounds checking against any
+    /// particular mesh. Returns `None` when the step would leave the
+    /// non-negative quadrant.
+    #[inline]
+    pub fn step(self, dir: Direction) -> Option<Coord> {
+        let (dx, dy) = dir.offset();
+        let x = self.x.checked_add_signed(dx)?;
+        let y = self.y.checked_add_signed(dy)?;
+        Some(Coord { x, y })
+    }
+
+    /// Directions of minimal progress from `self` toward `dest`
+    /// (0, 1, or 2 directions; empty iff `self == dest`).
+    #[inline]
+    pub fn minimal_directions(self, dest: Coord) -> DirectionSet {
+        let mut set = DirectionSet::empty();
+        if dest.x > self.x {
+            set.insert(Direction::East);
+        } else if dest.x < self.x {
+            set.insert(Direction::West);
+        }
+        if dest.y > self.y {
+            set.insert(Direction::North);
+        } else if dest.y < self.y {
+            set.insert(Direction::South);
+        }
+        set
+    }
+}
+
+impl core::fmt::Debug for Coord {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+impl From<(u16, u16)> for Coord {
+    fn from((x, y): (u16, u16)) -> Self {
+        Coord::new(x, y)
+    }
+}
+
+/// The four mesh directions. `East`/`West` move along dimension 0 (`x`),
+/// `North`/`South` along dimension 1 (`y`).
+///
+/// The discriminant values are stable and used as channel sub-indices.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Direction {
+    /// +x
+    East = 0,
+    /// −x
+    West = 1,
+    /// +y
+    North = 2,
+    /// −y
+    South = 3,
+}
+
+/// All four directions in discriminant order.
+pub const ALL_DIRECTIONS: [Direction; 4] = [
+    Direction::East,
+    Direction::West,
+    Direction::North,
+    Direction::South,
+];
+
+impl Direction {
+    /// `(dx, dy)` offset of one hop in this direction.
+    #[inline]
+    pub const fn offset(self) -> (i16, i16) {
+        match self {
+            Direction::East => (1, 0),
+            Direction::West => (-1, 0),
+            Direction::North => (0, 1),
+            Direction::South => (0, -1),
+        }
+    }
+
+    /// The 180° opposite direction.
+    #[inline]
+    pub const fn opposite(self) -> Direction {
+        match self {
+            Direction::East => Direction::West,
+            Direction::West => Direction::East,
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+        }
+    }
+
+    /// Stable dense index in `0..4`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`Direction::index`]. Panics if `i >= 4`.
+    #[inline]
+    pub fn from_index(i: usize) -> Direction {
+        ALL_DIRECTIONS[i]
+    }
+
+    /// True for `East`/`West` (dimension 0).
+    #[inline]
+    pub const fn is_horizontal(self) -> bool {
+        matches!(self, Direction::East | Direction::West)
+    }
+
+    /// Next direction going clockwise when the mesh is drawn with +x east
+    /// and +y north: E → S → W → N → E.
+    #[inline]
+    pub const fn clockwise(self) -> Direction {
+        match self {
+            Direction::East => Direction::South,
+            Direction::South => Direction::West,
+            Direction::West => Direction::North,
+            Direction::North => Direction::East,
+        }
+    }
+
+    /// Next direction going counterclockwise: E → N → W → S → E.
+    #[inline]
+    pub const fn counterclockwise(self) -> Direction {
+        match self {
+            Direction::East => Direction::North,
+            Direction::North => Direction::West,
+            Direction::West => Direction::South,
+            Direction::South => Direction::East,
+        }
+    }
+}
+
+/// A small set of directions packed into one byte. Cheap to copy and iterate;
+/// used for routing candidate direction sets.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DirectionSet(u8);
+
+impl DirectionSet {
+    /// The empty set.
+    #[inline]
+    pub const fn empty() -> Self {
+        DirectionSet(0)
+    }
+
+    /// Set containing every direction.
+    #[inline]
+    pub const fn all() -> Self {
+        DirectionSet(0b1111)
+    }
+
+    /// Insert a direction.
+    #[inline]
+    pub fn insert(&mut self, dir: Direction) {
+        self.0 |= 1 << dir.index();
+    }
+
+    /// Remove a direction.
+    #[inline]
+    pub fn remove(&mut self, dir: Direction) {
+        self.0 &= !(1 << dir.index());
+    }
+
+    /// Membership test.
+    #[inline]
+    pub const fn contains(self, dir: Direction) -> bool {
+        self.0 & (1 << dir as usize) != 0
+    }
+
+    /// Number of directions in the set.
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True when no direction is present.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterate over members in discriminant order.
+    #[inline]
+    pub fn iter(self) -> impl Iterator<Item = Direction> {
+        ALL_DIRECTIONS
+            .into_iter()
+            .filter(move |d| self.contains(*d))
+    }
+}
+
+impl core::fmt::Debug for DirectionSet {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<Direction> for DirectionSet {
+    fn from_iter<T: IntoIterator<Item = Direction>>(iter: T) -> Self {
+        let mut s = DirectionSet::empty();
+        for d in iter {
+            s.insert(d);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance() {
+        assert_eq!(Coord::new(0, 0).manhattan(Coord::new(3, 4)), 7);
+        assert_eq!(Coord::new(3, 4).manhattan(Coord::new(0, 0)), 7);
+        assert_eq!(Coord::new(5, 5).manhattan(Coord::new(5, 5)), 0);
+    }
+
+    #[test]
+    fn step_in_each_direction() {
+        let c = Coord::new(2, 2);
+        assert_eq!(c.step(Direction::East), Some(Coord::new(3, 2)));
+        assert_eq!(c.step(Direction::West), Some(Coord::new(1, 2)));
+        assert_eq!(c.step(Direction::North), Some(Coord::new(2, 3)));
+        assert_eq!(c.step(Direction::South), Some(Coord::new(2, 1)));
+    }
+
+    #[test]
+    fn step_out_of_quadrant_is_none() {
+        assert_eq!(Coord::new(0, 0).step(Direction::West), None);
+        assert_eq!(Coord::new(0, 0).step(Direction::South), None);
+    }
+
+    #[test]
+    fn opposite_is_involution() {
+        for d in ALL_DIRECTIONS {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_ne!(d.opposite(), d);
+        }
+    }
+
+    #[test]
+    fn rotations_are_cyclic_of_order_four() {
+        for d in ALL_DIRECTIONS {
+            assert_eq!(d.clockwise().clockwise().clockwise().clockwise(), d);
+            assert_eq!(
+                d.counterclockwise()
+                    .counterclockwise()
+                    .counterclockwise()
+                    .counterclockwise(),
+                d
+            );
+            assert_eq!(d.clockwise().counterclockwise(), d);
+            // cw and ccw are perpendicular to d
+            assert_ne!(d.clockwise().is_horizontal(), d.is_horizontal());
+        }
+    }
+
+    #[test]
+    fn minimal_directions_quadrants() {
+        let c = Coord::new(5, 5);
+        let ne = c.minimal_directions(Coord::new(8, 9));
+        assert!(ne.contains(Direction::East) && ne.contains(Direction::North));
+        assert_eq!(ne.len(), 2);
+
+        let w = c.minimal_directions(Coord::new(1, 5));
+        assert!(w.contains(Direction::West));
+        assert_eq!(w.len(), 1);
+
+        assert!(c.minimal_directions(c).is_empty());
+    }
+
+    #[test]
+    fn direction_set_operations() {
+        let mut s = DirectionSet::empty();
+        assert!(s.is_empty());
+        s.insert(Direction::East);
+        s.insert(Direction::South);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(Direction::East));
+        assert!(!s.contains(Direction::West));
+        s.remove(Direction::East);
+        assert_eq!(s.len(), 1);
+        let collected: Vec<_> = s.iter().collect();
+        assert_eq!(collected, vec![Direction::South]);
+        assert_eq!(DirectionSet::all().len(), 4);
+    }
+
+    #[test]
+    fn direction_index_roundtrip() {
+        for d in ALL_DIRECTIONS {
+            assert_eq!(Direction::from_index(d.index()), d);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Axis-aligned rectangles of nodes — the shape of block (convex) fault
+//! regions (paper §2.2).
+
+use crate::coord::Coord;
+use serde::{Deserialize, Serialize};
+
+/// An inclusive axis-aligned rectangle `[min.x..=max.x] × [min.y..=max.y]`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Rect {
+    /// South-west (minimum) corner, inclusive.
+    pub min: Coord,
+    /// North-east (maximum) corner, inclusive.
+    pub max: Coord,
+}
+
+impl Rect {
+    /// Construct from two corners. Panics unless `min <= max` component-wise.
+    pub fn new(min: Coord, max: Coord) -> Self {
+        assert!(
+            min.x <= max.x && min.y <= max.y,
+            "invalid rectangle corners"
+        );
+        Rect { min, max }
+    }
+
+    /// The 1×1 rectangle covering a single coordinate.
+    pub fn point(c: Coord) -> Self {
+        Rect { min: c, max: c }
+    }
+
+    /// Width in nodes (≥ 1).
+    #[inline]
+    pub const fn width(&self) -> u16 {
+        self.max.x - self.min.x + 1
+    }
+
+    /// Height in nodes (≥ 1).
+    #[inline]
+    pub const fn height(&self) -> u16 {
+        self.max.y - self.min.y + 1
+    }
+
+    /// Number of nodes covered.
+    #[inline]
+    pub const fn area(&self) -> u32 {
+        self.width() as u32 * self.height() as u32
+    }
+
+    /// Whether `c` lies inside the rectangle.
+    #[inline]
+    pub const fn contains(&self, c: Coord) -> bool {
+        c.x >= self.min.x && c.x <= self.max.x && c.y >= self.min.y && c.y <= self.max.y
+    }
+
+    /// Whether two rectangles share at least one node.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// Whether two rectangles intersect, touch side-by-side, or touch
+    /// diagonally — i.e. whether their Chebyshev-dilated footprints overlap.
+    /// Adjacent fault blocks in this sense share f-ring nodes, so the
+    /// pattern generator coalesces them (paper §2.2: "adjacent faulty nodes
+    /// are coalesced into fault regions").
+    pub fn touches(&self, other: &Rect) -> bool {
+        self.min.x <= other.max.x.saturating_add(1)
+            && other.min.x <= self.max.x.saturating_add(1)
+            && self.min.y <= other.max.y.saturating_add(1)
+            && other.min.y <= self.max.y.saturating_add(1)
+    }
+
+    /// Smallest rectangle containing both inputs.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min: Coord::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Coord::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// Grow by one node on every side, clamped to the non-negative quadrant.
+    /// The result's border is where the f-ring lives.
+    pub fn dilate(&self) -> Rect {
+        Rect {
+            min: Coord::new(self.min.x.saturating_sub(1), self.min.y.saturating_sub(1)),
+            max: Coord::new(self.max.x.saturating_add(1), self.max.y.saturating_add(1)),
+        }
+    }
+
+    /// Iterate over all covered coordinates in row-major order.
+    pub fn coords(&self) -> impl Iterator<Item = Coord> + '_ {
+        (self.min.y..=self.max.y)
+            .flat_map(move |y| (self.min.x..=self.max.x).map(move |x| Coord::new(x, y)))
+    }
+
+    /// Iterate over the coordinates of the rectangle's border (its own
+    /// outermost cells), clockwise starting from the north-west corner.
+    /// For a 1-wide or 1-tall rectangle this degenerates gracefully to the
+    /// full cell list without duplicates.
+    pub fn border_clockwise(&self) -> Vec<Coord> {
+        let mut out = Vec::new();
+        let (w, h) = (self.width(), self.height());
+        if w == 1 {
+            // Single column: top to bottom.
+            for y in (self.min.y..=self.max.y).rev() {
+                out.push(Coord::new(self.min.x, y));
+            }
+            return out;
+        }
+        if h == 1 {
+            for x in self.min.x..=self.max.x {
+                out.push(Coord::new(x, self.min.y));
+            }
+            return out;
+        }
+        // Top edge, west→east.
+        for x in self.min.x..=self.max.x {
+            out.push(Coord::new(x, self.max.y));
+        }
+        // East edge, top→bottom (excluding corners already emitted).
+        for y in (self.min.y + 1..self.max.y).rev() {
+            out.push(Coord::new(self.max.x, y));
+        }
+        // Bottom edge, east→west.
+        for x in (self.min.x..=self.max.x).rev() {
+            out.push(Coord::new(x, self.min.y));
+        }
+        // West edge, bottom→top (excluding corners).
+        for y in self.min.y + 1..self.max.y {
+            out.push(Coord::new(self.min.x, y));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(ax: u16, ay: u16, bx: u16, by: u16) -> Rect {
+        Rect::new(Coord::new(ax, ay), Coord::new(bx, by))
+    }
+
+    #[test]
+    fn dimensions() {
+        let rect = r(2, 3, 4, 7);
+        assert_eq!(rect.width(), 3);
+        assert_eq!(rect.height(), 5);
+        assert_eq!(rect.area(), 15);
+        assert_eq!(rect.coords().count(), 15);
+    }
+
+    #[test]
+    fn containment() {
+        let rect = r(2, 2, 4, 4);
+        assert!(rect.contains(Coord::new(2, 2)));
+        assert!(rect.contains(Coord::new(4, 4)));
+        assert!(rect.contains(Coord::new(3, 3)));
+        assert!(!rect.contains(Coord::new(5, 3)));
+        assert!(!rect.contains(Coord::new(1, 3)));
+    }
+
+    #[test]
+    fn intersection_and_touching() {
+        let a = r(0, 0, 2, 2);
+        assert!(a.intersects(&r(2, 2, 4, 4)));
+        assert!(!a.intersects(&r(3, 3, 4, 4)));
+        // Side-adjacent and diagonal-adjacent count as touching.
+        assert!(a.touches(&r(3, 0, 4, 2)));
+        assert!(a.touches(&r(3, 3, 4, 4)));
+        assert!(!a.touches(&r(4, 4, 5, 5)));
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = r(1, 1, 2, 2);
+        let b = r(4, 0, 5, 1);
+        let u = a.union(&b);
+        assert_eq!(u, r(1, 0, 5, 2));
+    }
+
+    #[test]
+    fn dilate_grows_and_clamps() {
+        assert_eq!(r(1, 1, 2, 2).dilate(), r(0, 0, 3, 3));
+        assert_eq!(r(0, 0, 1, 1).dilate(), r(0, 0, 2, 2));
+    }
+
+    #[test]
+    fn border_of_interior_rect() {
+        let rect = r(1, 1, 3, 3);
+        let border = rect.border_clockwise();
+        // 3x3 rectangle: 8 border cells (center excluded).
+        assert_eq!(border.len(), 8);
+        let unique: std::collections::HashSet<_> = border.iter().copied().collect();
+        assert_eq!(unique.len(), 8);
+        // Consecutive border cells are adjacent (Manhattan distance 1),
+        // including the wrap-around pair.
+        for i in 0..border.len() {
+            let a = border[i];
+            let b = border[(i + 1) % border.len()];
+            assert_eq!(a.manhattan(b), 1, "border not contiguous at {i}");
+        }
+        assert!(!border.contains(&Coord::new(2, 2)));
+    }
+
+    #[test]
+    fn border_degenerate_shapes() {
+        assert_eq!(r(2, 2, 2, 2).border_clockwise(), vec![Coord::new(2, 2)]);
+        let row = r(1, 5, 4, 5).border_clockwise();
+        assert_eq!(row.len(), 4);
+        let col = r(5, 1, 5, 4).border_clockwise();
+        assert_eq!(col.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rectangle corners")]
+    fn bad_corners_panic() {
+        Rect::new(Coord::new(3, 0), Coord::new(1, 0));
+    }
+}

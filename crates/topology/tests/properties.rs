@@ -1,0 +1,137 @@
+//! Property-based tests for the topology substrate.
+
+use proptest::prelude::*;
+use wormsim_topology::{Coord, Direction, DirectionSet, Mesh, Rect, ALL_DIRECTIONS};
+
+fn mesh_strategy() -> impl Strategy<Value = Mesh> {
+    (2u16..=16, 2u16..=16).prop_map(|(w, h)| Mesh::new(w, h))
+}
+
+proptest! {
+    #[test]
+    fn node_coord_roundtrip(mesh in mesh_strategy(), xy in (0u16..16, 0u16..16)) {
+        let c = Coord::new(xy.0 % mesh.width(), xy.1 % mesh.height());
+        let n = mesh.node_at(c);
+        prop_assert_eq!(mesh.coord(n), c);
+    }
+
+    #[test]
+    fn neighbors_symmetric_and_unit_distance(mesh in mesh_strategy(), xy in (0u16..16, 0u16..16)) {
+        let c = Coord::new(xy.0 % mesh.width(), xy.1 % mesh.height());
+        let n = mesh.node_at(c);
+        for d in ALL_DIRECTIONS {
+            if let Some(v) = mesh.neighbor(n, d) {
+                prop_assert_eq!(mesh.neighbor(v, d.opposite()), Some(n));
+                prop_assert_eq!(mesh.distance(n, v), 1);
+                prop_assert_ne!(mesh.color(n), mesh.color(v));
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_steps_reduce_distance(
+        mesh in mesh_strategy(),
+        a in (0u16..16, 0u16..16),
+        b in (0u16..16, 0u16..16),
+    ) {
+        let from = mesh.node(a.0 % mesh.width(), a.1 % mesh.height());
+        let to = mesh.node(b.0 % mesh.width(), b.1 % mesh.height());
+        let dirs = mesh.minimal_directions(from, to);
+        prop_assert_eq!(dirs.is_empty(), from == to);
+        for d in dirs.iter() {
+            let v = mesh.neighbor(from, d).expect("minimal dir stays in mesh");
+            prop_assert_eq!(mesh.distance(v, to) + 1, mesh.distance(from, to));
+        }
+    }
+
+    #[test]
+    fn distance_is_a_metric(
+        mesh in mesh_strategy(),
+        a in (0u16..16, 0u16..16),
+        b in (0u16..16, 0u16..16),
+        c in (0u16..16, 0u16..16),
+    ) {
+        let na = mesh.node(a.0 % mesh.width(), a.1 % mesh.height());
+        let nb = mesh.node(b.0 % mesh.width(), b.1 % mesh.height());
+        let nc = mesh.node(c.0 % mesh.width(), c.1 % mesh.height());
+        prop_assert_eq!(mesh.distance(na, nb), mesh.distance(nb, na));
+        prop_assert_eq!(mesh.distance(na, nb) == 0, na == nb);
+        prop_assert!(mesh.distance(na, nc) <= mesh.distance(na, nb) + mesh.distance(nb, nc));
+        prop_assert!(mesh.distance(na, nb) <= mesh.diameter());
+    }
+
+    #[test]
+    fn direction_set_matches_reference(dirs in proptest::collection::vec(0usize..4, 0..12)) {
+        let mut set = DirectionSet::empty();
+        let mut reference = std::collections::BTreeSet::new();
+        for i in dirs {
+            let d = Direction::from_index(i);
+            set.insert(d);
+            reference.insert(d);
+        }
+        prop_assert_eq!(set.len(), reference.len());
+        for d in ALL_DIRECTIONS {
+            prop_assert_eq!(set.contains(d), reference.contains(&d));
+        }
+        let collected: Vec<_> = set.iter().collect();
+        let reference: Vec<_> = reference.into_iter().collect();
+        prop_assert_eq!(collected, reference);
+    }
+
+    #[test]
+    fn rect_union_contains_operands(
+        a in (0u16..12, 0u16..12, 0u16..4, 0u16..4),
+        b in (0u16..12, 0u16..12, 0u16..4, 0u16..4),
+    ) {
+        let ra = Rect::new(Coord::new(a.0, a.1), Coord::new(a.0 + a.2, a.1 + a.3));
+        let rb = Rect::new(Coord::new(b.0, b.1), Coord::new(b.0 + b.2, b.1 + b.3));
+        let u = ra.union(&rb);
+        for c in ra.coords().chain(rb.coords()) {
+            prop_assert!(u.contains(c));
+        }
+        prop_assert!(u.area() >= ra.area().max(rb.area()));
+        prop_assert_eq!(ra.touches(&rb), rb.touches(&ra));
+        prop_assert_eq!(ra.intersects(&rb), rb.intersects(&ra));
+        if ra.intersects(&rb) {
+            prop_assert!(ra.touches(&rb));
+        }
+    }
+
+    #[test]
+    fn rect_border_is_contiguous_subset(
+        r in (0u16..12, 0u16..12, 0u16..5, 0u16..5),
+    ) {
+        let rect = Rect::new(Coord::new(r.0, r.1), Coord::new(r.0 + r.2, r.1 + r.3));
+        let border = rect.border_clockwise();
+        let unique: std::collections::HashSet<_> = border.iter().copied().collect();
+        prop_assert_eq!(unique.len(), border.len(), "no duplicates");
+        for c in &border {
+            prop_assert!(rect.contains(*c));
+            // Border cells touch the rectangle's bounding edge.
+            prop_assert!(
+                c.x == rect.min.x || c.x == rect.max.x || c.y == rect.min.y || c.y == rect.max.y
+            );
+        }
+        for w in border.windows(2) {
+            prop_assert_eq!(w[0].manhattan(w[1]), 1);
+        }
+        if rect.width() > 1 && rect.height() > 1 {
+            // Cyclic closure for 2-D rectangles.
+            prop_assert_eq!(border[0].manhattan(border[border.len() - 1]), 1);
+        }
+    }
+
+    #[test]
+    fn max_negative_hops_bounded_by_half_distance(
+        mesh in mesh_strategy(),
+        a in (0u16..16, 0u16..16),
+        b in (0u16..16, 0u16..16),
+    ) {
+        let na = mesh.node(a.0 % mesh.width(), a.1 % mesh.height());
+        let nb = mesh.node(b.0 % mesh.width(), b.1 % mesh.height());
+        let neg = mesh.max_negative_hops(na, nb);
+        let d = mesh.distance(na, nb);
+        prop_assert!(neg <= d.div_ceil(2));
+        prop_assert!(neg <= mesh.max_negative_hops_bound());
+    }
+}

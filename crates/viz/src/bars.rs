@@ -1,0 +1,143 @@
+//! Horizontal bar charts for categorical comparisons (e.g. the Figure 6
+//! f-ring/other load bars).
+
+/// A horizontal bar chart with one value per label; optional pairing
+/// renders two values per label side by side (the Figure 6 style).
+#[derive(Clone, Debug, Default)]
+pub struct BarChart {
+    title: String,
+    width: usize,
+    entries: Vec<(String, Vec<f64>)>,
+    series_names: Vec<String>,
+}
+
+impl BarChart {
+    /// A bar chart whose longest bar spans `width` characters.
+    pub fn new(width: usize) -> Self {
+        BarChart {
+            width: width.clamp(10, 200),
+            ..Default::default()
+        }
+    }
+
+    /// Set the title.
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = title.into();
+        self
+    }
+
+    /// Name the per-entry value series (e.g. `["f-ring", "other"]`).
+    pub fn with_series_names(mut self, names: Vec<String>) -> Self {
+        self.series_names = names;
+        self
+    }
+
+    /// Add one labeled entry with one value per series.
+    pub fn push(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        self.entries.push((label.into(), values));
+    }
+
+    /// Render to a string. Bars are scaled to the global maximum; NaN
+    /// renders as an empty bar tagged `—`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("{}\n", self.title));
+        }
+        if self.entries.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        let max = self
+            .entries
+            .iter()
+            .flat_map(|(_, v)| v.iter())
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let label_w = self
+            .entries
+            .iter()
+            .map(|(l, _)| l.chars().count())
+            .max()
+            .unwrap_or(0)
+            .min(32);
+        let glyphs = ['█', '▓', '▒', '░'];
+        for (label, values) in &self.entries {
+            for (si, v) in values.iter().enumerate() {
+                let shown_label = if si == 0 {
+                    format!("{label:<label_w$}")
+                } else {
+                    " ".repeat(label_w)
+                };
+                let (bar, tag) = if v.is_finite() {
+                    let n = ((v / max) * self.width as f64).round() as usize;
+                    (
+                        glyphs[si % glyphs.len()].to_string().repeat(n),
+                        format!("{v:.2}"),
+                    )
+                } else {
+                    (String::new(), "—".to_string())
+                };
+                let series = self
+                    .series_names
+                    .get(si)
+                    .map(|s| format!(" [{s}]"))
+                    .unwrap_or_default();
+                out.push_str(&format!("{shown_label} │{bar} {tag}{series}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scaled_bars() {
+        let mut b = BarChart::new(20).with_title("loads");
+        b.push("PHop", vec![100.0]);
+        b.push("NHop", vec![50.0]);
+        let r = b.render();
+        assert!(r.starts_with("loads\n"));
+        let phop_len = r.lines().nth(1).unwrap().matches('█').count();
+        let nhop_len = r.lines().nth(2).unwrap().matches('█').count();
+        assert_eq!(phop_len, 20);
+        assert_eq!(nhop_len, 10);
+    }
+
+    #[test]
+    fn paired_series_use_distinct_glyphs_and_names() {
+        let mut b = BarChart::new(10).with_series_names(vec!["ring".into(), "other".into()]);
+        b.push("PHop 10%", vec![60.0, 30.0]);
+        let r = b.render();
+        assert!(r.contains('█'));
+        assert!(r.contains('▓'));
+        assert!(r.contains("[ring]"));
+        assert!(r.contains("[other]"));
+    }
+
+    #[test]
+    fn nan_becomes_dash() {
+        let mut b = BarChart::new(10);
+        b.push("x", vec![f64::NAN]);
+        let r = b.render();
+        assert!(r.contains('—'));
+    }
+
+    #[test]
+    fn empty_chart() {
+        assert!(BarChart::new(10).render().contains("(no data)"));
+    }
+
+    #[test]
+    fn zero_values_render_without_panic() {
+        let mut b = BarChart::new(10);
+        b.push("z", vec![0.0]);
+        let r = b.render();
+        assert!(r.contains("0.00"));
+    }
+}

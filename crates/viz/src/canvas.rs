@@ -1,0 +1,161 @@
+//! A braille-dot raster canvas: each terminal cell holds a 2×4 dot grid
+//! (U+2800 block), giving sub-character plotting resolution.
+
+/// A monochrome dot canvas `width × height` **in terminal cells**; the
+/// addressable dot grid is `2·width × 4·height`.
+#[derive(Clone, Debug)]
+pub struct BrailleCanvas {
+    width: usize,
+    height: usize,
+    /// Per cell: the 8-bit braille dot pattern.
+    cells: Vec<u8>,
+}
+
+/// Braille dot bit for (dx ∈ 0..2, dy ∈ 0..4), per the Unicode layout:
+/// dots 1,2,3,7 in the left column (top→bottom), 4,5,6,8 in the right.
+const DOT_BITS: [[u8; 4]; 2] = [
+    [0x01, 0x02, 0x04, 0x40], // left column
+    [0x08, 0x10, 0x20, 0x80], // right column
+];
+
+impl BrailleCanvas {
+    /// An empty canvas of `width × height` terminal cells.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0);
+        BrailleCanvas {
+            width,
+            height,
+            cells: vec![0; width * height],
+        }
+    }
+
+    /// Dot-grid width (`2 × cells`).
+    pub fn dot_width(&self) -> usize {
+        self.width * 2
+    }
+
+    /// Dot-grid height (`4 × cells`).
+    pub fn dot_height(&self) -> usize {
+        self.height * 4
+    }
+
+    /// Set the dot at `(x, y)` in dot coordinates; (0,0) is the top-left.
+    /// Out-of-range coordinates are ignored.
+    pub fn set(&mut self, x: usize, y: usize) {
+        if x >= self.dot_width() || y >= self.dot_height() {
+            return;
+        }
+        let cell = (y / 4) * self.width + x / 2;
+        self.cells[cell] |= DOT_BITS[x % 2][y % 4];
+    }
+
+    /// Whether the dot at `(x, y)` is set.
+    pub fn get(&self, x: usize, y: usize) -> bool {
+        if x >= self.dot_width() || y >= self.dot_height() {
+            return false;
+        }
+        let cell = (y / 4) * self.width + x / 2;
+        self.cells[cell] & DOT_BITS[x % 2][y % 4] != 0
+    }
+
+    /// Draw a line between two dot coordinates (Bresenham).
+    pub fn line(&mut self, x0: usize, y0: usize, x1: usize, y1: usize) {
+        let (mut x0, mut y0) = (x0 as i64, y0 as i64);
+        let (x1, y1) = (x1 as i64, y1 as i64);
+        let dx = (x1 - x0).abs();
+        let dy = -(y1 - y0).abs();
+        let sx = if x0 < x1 { 1 } else { -1 };
+        let sy = if y0 < y1 { 1 } else { -1 };
+        let mut err = dx + dy;
+        loop {
+            if x0 >= 0 && y0 >= 0 {
+                self.set(x0 as usize, y0 as usize);
+            }
+            if x0 == x1 && y0 == y1 {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 >= dy {
+                err += dy;
+                x0 += sx;
+            }
+            if e2 <= dx {
+                err += dx;
+                y0 += sy;
+            }
+        }
+    }
+
+    /// Render as `height` lines of braille characters.
+    pub fn render(&self) -> Vec<String> {
+        (0..self.height)
+            .map(|row| {
+                (0..self.width)
+                    .map(|col| {
+                        let bits = self.cells[row * self.width + col];
+                        char::from_u32(0x2800 + bits as u32).expect("valid braille")
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_canvas_renders_blank_braille() {
+        let c = BrailleCanvas::new(3, 2);
+        let lines = c.render();
+        assert_eq!(lines.len(), 2);
+        for l in &lines {
+            assert_eq!(l.chars().count(), 3);
+            assert!(l.chars().all(|ch| ch == '\u{2800}'));
+        }
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut c = BrailleCanvas::new(4, 4);
+        for (x, y) in [(0, 0), (7, 15), (3, 9), (5, 2)] {
+            assert!(!c.get(x, y));
+            c.set(x, y);
+            assert!(c.get(x, y), "dot ({x},{y})");
+        }
+        // Out of range: ignored, no panic.
+        c.set(100, 100);
+        assert!(!c.get(100, 100));
+    }
+
+    #[test]
+    fn distinct_dots_in_same_cell_accumulate() {
+        let mut c = BrailleCanvas::new(1, 1);
+        c.set(0, 0);
+        c.set(1, 3);
+        let line = &c.render()[0];
+        let ch = line.chars().next().unwrap() as u32;
+        assert_eq!(ch, 0x2800 + 0x01 + 0x80);
+    }
+
+    #[test]
+    fn line_endpoints_and_monotonicity() {
+        let mut c = BrailleCanvas::new(10, 10);
+        c.line(0, 0, 19, 39);
+        assert!(c.get(0, 0));
+        assert!(c.get(19, 39));
+        // Some interior dot on the path.
+        let interior = (1..19).any(|x| (1..39).any(|y| c.get(x, y)));
+        assert!(interior);
+    }
+
+    #[test]
+    fn horizontal_line_spans_row() {
+        let mut c = BrailleCanvas::new(5, 1);
+        c.line(0, 2, 9, 2);
+        for x in 0..10 {
+            assert!(c.get(x, 2), "dot {x} missing");
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Multi-series line charts on a braille canvas with axes and a legend.
+
+use crate::canvas::BrailleCanvas;
+
+/// One named data series of `(x, y)` points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Data points (need not be sorted; NaN/∞ points are skipped).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Construct a series.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+
+    fn finite_points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.points
+            .iter()
+            .copied()
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+    }
+}
+
+/// A line chart: braille plot area, y-axis labels, x-range footer, legend.
+#[derive(Clone, Debug)]
+pub struct LineChart {
+    width: usize,
+    height: usize,
+    title: String,
+    series: Vec<Series>,
+}
+
+impl LineChart {
+    /// A chart with a plot area of `width × height` terminal cells
+    /// (minimums 16×4 are enforced).
+    pub fn new(width: usize, height: usize) -> Self {
+        LineChart {
+            width: width.max(16),
+            height: height.max(4),
+            title: String::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Set the title line.
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = title.into();
+        self
+    }
+
+    /// Add a series.
+    pub fn with_series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Data bounds across all series; `None` when there is nothing finite.
+    fn bounds(&self) -> Option<(f64, f64, f64, f64)> {
+        let mut it = self.series.iter().flat_map(|s| s.finite_points());
+        let (x0, y0) = it.next()?;
+        let (mut xmin, mut xmax, mut ymin, mut ymax) = (x0, x0, y0, y0);
+        for (x, y) in it {
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+            ymin = ymin.min(y);
+            ymax = ymax.max(y);
+        }
+        // Degenerate ranges get padded so scaling stays finite.
+        if xmax == xmin {
+            xmax = xmin + 1.0;
+        }
+        if ymax == ymin {
+            ymax = ymin + 1.0;
+        }
+        Some((xmin, xmax, ymin, ymax))
+    }
+
+    /// Render the chart to a string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("{}\n", self.title));
+        }
+        let Some((xmin, xmax, ymin, ymax)) = self.bounds() else {
+            out.push_str("(no data)\n");
+            return out;
+        };
+        let mut canvas = BrailleCanvas::new(self.width, self.height);
+        let (dw, dh) = (canvas.dot_width() as f64, canvas.dot_height() as f64);
+        let to_dot = |x: f64, y: f64| -> (usize, usize) {
+            let px = ((x - xmin) / (xmax - xmin) * (dw - 1.0)).round() as usize;
+            // y grows upward in data space, downward on the canvas.
+            let py = ((ymax - y) / (ymax - ymin) * (dh - 1.0)).round() as usize;
+            (px, py)
+        };
+        for s in &self.series {
+            let mut pts: Vec<(f64, f64)> = s.finite_points().collect();
+            pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+            for w in pts.windows(2) {
+                let (x0, y0) = to_dot(w[0].0, w[0].1);
+                let (x1, y1) = to_dot(w[1].0, w[1].1);
+                canvas.line(x0, y0, x1, y1);
+            }
+            if pts.len() == 1 {
+                let (x, y) = to_dot(pts[0].0, pts[0].1);
+                canvas.set(x, y);
+            }
+        }
+        // Y labels on the first, middle and last rows.
+        let rows = canvas.render();
+        let label_for = |row: usize| -> String {
+            let frac = row as f64 / (self.height - 1).max(1) as f64;
+            format!("{:>10.4}", ymax - frac * (ymax - ymin))
+        };
+        for (i, row) in rows.iter().enumerate() {
+            let label = if i == 0 || i == self.height - 1 || i == self.height / 2 {
+                label_for(i)
+            } else {
+                " ".repeat(10)
+            };
+            out.push_str(&format!("{label} ┤{row}\n"));
+        }
+        out.push_str(&format!(
+            "{:>10}  └{}\n",
+            "",
+            "─".repeat(self.width.min(200))
+        ));
+        out.push_str(&format!(
+            "{:>12}{:<width$.4}{:>10.4}\n",
+            "",
+            xmin,
+            xmax,
+            width = self.width.saturating_sub(8),
+        ));
+        if !self.series.is_empty() {
+            out.push_str("  series: ");
+            out.push_str(
+                &self
+                    .series
+                    .iter()
+                    .map(|s| s.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> LineChart {
+        LineChart::new(40, 8)
+            .with_title("t")
+            .with_series(Series::new("a", vec![(0.0, 0.0), (1.0, 1.0), (2.0, 4.0)]))
+            .with_series(Series::new("b", vec![(0.0, 4.0), (2.0, 0.0)]))
+    }
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let r = simple().render();
+        assert!(r.starts_with("t\n"));
+        assert!(r.contains("series: a, b"));
+        assert!(r.contains('┤'));
+        assert!(r.contains('└'));
+        // y-max label appears.
+        assert!(r.contains("4.0000"));
+    }
+
+    #[test]
+    fn empty_chart_says_no_data() {
+        let r = LineChart::new(30, 6).render();
+        assert!(r.contains("(no data)"));
+    }
+
+    #[test]
+    fn nan_points_are_skipped() {
+        let r = LineChart::new(30, 6)
+            .with_series(Series::new(
+                "x",
+                vec![(0.0, f64::NAN), (1.0, 2.0), (2.0, 3.0)],
+            ))
+            .render();
+        assert!(!r.contains("NaN"));
+        assert!(r.contains("series: x"));
+    }
+
+    #[test]
+    fn single_point_series_renders() {
+        let r = LineChart::new(30, 6)
+            .with_series(Series::new("p", vec![(5.0, 5.0)]))
+            .render();
+        // Some non-empty braille cell must exist.
+        assert!(r.chars().any(|c| ('\u{2801}'..='\u{28FF}').contains(&c)));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let r = LineChart::new(30, 6)
+            .with_series(Series::new("c", vec![(0.0, 2.0), (1.0, 2.0), (2.0, 2.0)]))
+            .render();
+        assert!(r.contains("series: c"));
+    }
+
+    #[test]
+    fn plot_area_dimensions() {
+        let r = simple().render();
+        // title + height rows + axis + x labels + legend
+        assert_eq!(r.lines().count(), 1 + 8 + 1 + 1 + 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! Head-to-head comparison of all eleven routing algorithms at one
+//! operating point — the experiment behind the paper's Figures 4–5,
+//! on a single shared fault set.
+//!
+//! ```text
+//! cargo run --release -p wormsim-experiments --example algorithm_shootout [faults] [rate]
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wormsim_experiments::{parallel_map, run_single, ExperimentConfig, RunSpec, Scale};
+use wormsim_fault::{random_pattern, FaultPattern};
+use wormsim_routing::AlgorithmKind;
+use wormsim_topology::Mesh;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let faults: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(5);
+    let rate: f64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(0.004);
+
+    let cfg = ExperimentConfig::new(Scale::Paper);
+    let mesh = Mesh::square(cfg.mesh_size);
+    let mut rng = SmallRng::seed_from_u64(cfg.base_seed);
+    let pattern = if faults == 0 {
+        FaultPattern::fault_free(&mesh)
+    } else {
+        random_pattern(&mesh, faults, &mut rng).expect("pattern")
+    };
+    println!(
+        "== shootout: {} faults ({} disabled), rate {} msgs/node/cycle ==\n",
+        faults,
+        pattern.num_faulty(),
+        rate
+    );
+
+    let specs: Vec<RunSpec> = AlgorithmKind::ALL
+        .iter()
+        .map(|&kind| RunSpec {
+            kind,
+            pattern: pattern.clone(),
+            rate,
+            seed: 42,
+        })
+        .collect();
+    let mut reports = parallel_map(&specs, cfg.threads, |s| run_single(&cfg, s));
+    reports.sort_by(|a, b| {
+        b.normalized_throughput()
+            .partial_cmp(&a.normalized_throughput())
+            .unwrap()
+    });
+
+    println!(
+        "{:<24} {:>10} {:>12} {:>10} {:>8}",
+        "algorithm", "throughput", "net latency", "delivered", "recov"
+    );
+    for r in &reports {
+        println!(
+            "{:<24} {:>10.4} {:>12.1} {:>10} {:>8}",
+            r.algorithm,
+            r.normalized_throughput(),
+            r.mean_network_latency(),
+            r.throughput.messages_delivered(),
+            r.recoveries
+        );
+    }
+}

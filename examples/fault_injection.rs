@@ -1,0 +1,77 @@
+//! Progressive fault injection: watch one algorithm degrade as the number
+//! of random node failures grows, with an ASCII rendering of each fault
+//! pattern and its f-rings.
+//!
+//! ```text
+//! cargo run --release -p wormsim-experiments --example fault_injection
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use wormsim_engine::{SimConfig, Simulator};
+use wormsim_fault::{random_pattern, FRingSet, FaultPattern};
+use wormsim_routing::{build_algorithm, AlgorithmKind, RoutingContext, VcConfig};
+use wormsim_topology::Mesh;
+use wormsim_traffic::Workload;
+
+/// Render the mesh: '#' faulty, 'o' on an f-ring, '.' ordinary.
+fn render(mesh: &Mesh, pattern: &FaultPattern, rings: &FRingSet) -> String {
+    let mut out = String::new();
+    for y in (0..mesh.height()).rev() {
+        for x in 0..mesh.width() {
+            let n = mesh.node(x, y);
+            out.push(if pattern.is_faulty(n) {
+                '#'
+            } else if rings.on_any_ring(n) {
+                'o'
+            } else {
+                '.'
+            });
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let mesh = Mesh::square(10);
+    let kind = AlgorithmKind::Nbc;
+    println!("algorithm: {}\n", kind.paper_name());
+    println!(
+        "{:>7} {:>9} {:>10} {:>12} {:>7}",
+        "faults", "disabled", "throughput", "net latency", "recov"
+    );
+
+    let mut rng = SmallRng::seed_from_u64(7);
+    for faults in [0usize, 2, 5, 8, 10] {
+        let pattern = if faults == 0 {
+            FaultPattern::fault_free(&mesh)
+        } else {
+            random_pattern(&mesh, faults, &mut rng).expect("pattern")
+        };
+        let rings = FRingSet::build(&mesh, &pattern);
+        let ctx = Arc::new(RoutingContext::new(mesh.clone(), pattern.clone()));
+        let algo = build_algorithm(kind, ctx.clone(), VcConfig::paper());
+        let cfg = SimConfig {
+            warmup_cycles: 5_000,
+            measure_cycles: 10_000,
+            ..SimConfig::paper()
+        };
+        let mut sim = Simulator::new(algo, ctx, Workload::paper_uniform(0.004), cfg);
+        let r = sim.run();
+        println!(
+            "{:>7} {:>9} {:>10.4} {:>12.1} {:>7}",
+            faults,
+            pattern.num_faulty(),
+            r.normalized_throughput(),
+            r.mean_network_latency(),
+            r.recoveries
+        );
+        if faults == 10 {
+            println!("\nfinal pattern ('#' faulty, 'o' f-ring, '.' other):\n");
+            println!("{}", render(&mesh, &pattern, &rings));
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Per-VC utilization profile for one algorithm — the paper's Figure 3
+//! view, rendered as terminal bars. Shows the hop-class skew of PHop/NHop,
+//! the bonus-card spreading of Pbc/Nbc, and the flat profile of the
+//! free-choice algorithms.
+//!
+//! ```text
+//! cargo run --release -p wormsim-experiments --example vc_usage_profile [algo] [faults]
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use wormsim_engine::{SimConfig, Simulator};
+use wormsim_fault::{random_pattern, FaultPattern};
+use wormsim_routing::{build_algorithm, AlgorithmKind, RoutingContext, VcConfig};
+use wormsim_topology::Mesh;
+use wormsim_traffic::Workload;
+use wormsim_viz::BarChart;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kinds: Vec<AlgorithmKind> = match args.first().map(|s| s.as_str()) {
+        Some("all") | None => vec![
+            AlgorithmKind::PHop,
+            AlgorithmKind::NHop,
+            AlgorithmKind::Pbc,
+            AlgorithmKind::MinimalAdaptive,
+        ],
+        Some(name) => {
+            let norm = name.to_lowercase();
+            let found = AlgorithmKind::ALL
+                .into_iter()
+                .chain(AlgorithmKind::EXTENDED_BASELINES)
+                .find(|k| format!("{k:?}").to_lowercase() == norm.replace(['-', '_'], ""));
+            match found {
+                Some(k) => vec![k],
+                None => {
+                    eprintln!("unknown algorithm {name:?}; try e.g. phop, nbc, duatonbc");
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
+    let faults: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(5);
+
+    let mesh = Mesh::square(10);
+    let mut rng = SmallRng::seed_from_u64(33);
+    let pattern = if faults == 0 {
+        FaultPattern::fault_free(&mesh)
+    } else {
+        random_pattern(&mesh, faults, &mut rng).expect("pattern")
+    };
+
+    for kind in kinds {
+        let ctx = Arc::new(RoutingContext::new(mesh.clone(), pattern.clone()));
+        let algo = build_algorithm(kind, ctx.clone(), VcConfig::paper());
+        let cfg = SimConfig {
+            warmup_cycles: 3_000,
+            measure_cycles: 9_000,
+            ..SimConfig::paper()
+        };
+        let mut sim = Simulator::new(algo, ctx, Workload::paper_uniform(0.004), cfg);
+        let report = sim.run();
+        let usage = report.vc_usage.utilization_percent();
+        let mut bars = BarChart::new(50).with_title(format!(
+            "{} — per-VC utilization (%) at {} faults (imbalance {:.2})",
+            report.algorithm,
+            faults,
+            report.vc_usage.imbalance()
+        ));
+        for (vc, u) in usage.iter().enumerate() {
+            let tag = if vc >= 20 { " (BC)" } else { "" };
+            bars.push(format!("VC{vc:02}{tag}"), vec![*u]);
+        }
+        println!("{}", bars.render());
+    }
+}

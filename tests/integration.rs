@@ -1,0 +1,199 @@
+//! End-to-end integration tests: full simulations across crates.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use wormsim_engine::{SimConfig, Simulator};
+use wormsim_fault::{random_pattern, FaultPattern};
+use wormsim_routing::{build_algorithm, AlgorithmKind, RoutingContext, VcConfig};
+use wormsim_topology::Mesh;
+use wormsim_traffic::Workload;
+
+fn sim(
+    kind: AlgorithmKind,
+    pattern: FaultPattern,
+    rate: f64,
+    length: u32,
+    cfg: SimConfig,
+) -> Simulator {
+    let mesh = Mesh::square(10);
+    let ctx = Arc::new(RoutingContext::new(mesh, pattern));
+    let algo = build_algorithm(kind, ctx.clone(), VcConfig::paper());
+    let mut wl = Workload::paper_uniform(rate);
+    wl.message_length = length;
+    Simulator::new(algo, ctx, wl, cfg)
+}
+
+#[test]
+fn all_algorithms_run_the_paper_configuration() {
+    // A shortened paper run per algorithm: every one must deliver traffic
+    // and produce internally consistent statistics.
+    let mesh = Mesh::square(10);
+    let cfg = SimConfig {
+        warmup_cycles: 500,
+        measure_cycles: 2_500,
+        ..SimConfig::paper()
+    };
+    for kind in AlgorithmKind::ALL {
+        let mut s = sim(kind, FaultPattern::fault_free(&mesh), 0.002, 100, cfg);
+        let r = s.run();
+        assert!(
+            r.throughput.messages_delivered() > 100,
+            "{kind:?} delivered too little"
+        );
+        assert_eq!(r.latency.count(), r.throughput.messages_delivered());
+        assert_eq!(r.network_latency.count(), r.latency.count());
+        // Network latency can never exceed total latency.
+        assert!(r.mean_network_latency() <= r.mean_latency() + 1e-9);
+        // Minimal possible latency: message length (pipeline) cycles.
+        assert!(r.network_latency.min().unwrap() >= 100);
+        assert_eq!(r.recoveries, 0, "{kind:?} recovered in fault-free run");
+    }
+}
+
+#[test]
+fn delivered_equals_offered_below_saturation() {
+    let mesh = Mesh::square(10);
+    let cfg = SimConfig {
+        warmup_cycles: 2_000,
+        measure_cycles: 8_000,
+        ..SimConfig::paper()
+    };
+    let rate = 0.001; // offered 0.1 flits/node/cycle, well below saturation
+    for kind in [
+        AlgorithmKind::Duato,
+        AlgorithmKind::NHop,
+        AlgorithmKind::Pbc,
+    ] {
+        let mut s = sim(kind, FaultPattern::fault_free(&mesh), rate, 100, cfg);
+        let r = s.run();
+        let thr = r.normalized_throughput();
+        assert!(
+            (thr - 0.1).abs() < 0.02,
+            "{kind:?}: throughput {thr} should track offered 0.1"
+        );
+    }
+}
+
+#[test]
+fn faulty_networks_still_deliver_for_every_algorithm() {
+    let mesh = Mesh::square(10);
+    let mut rng = SmallRng::seed_from_u64(99);
+    let pattern = random_pattern(&mesh, 10, &mut rng).unwrap();
+    let cfg = SimConfig {
+        warmup_cycles: 1_000,
+        measure_cycles: 5_000,
+        ..SimConfig::paper()
+    };
+    for kind in AlgorithmKind::ALL {
+        let mut s = sim(kind, pattern.clone(), 0.001, 100, cfg);
+        let r = s.run();
+        assert!(
+            r.throughput.messages_delivered() > 200,
+            "{kind:?} delivered {} messages with 10 faults",
+            r.throughput.messages_delivered()
+        );
+        // Faulty nodes never see traffic.
+        for n in mesh.nodes() {
+            if pattern.is_faulty(n) {
+                assert_eq!(r.node_load.arrivals()[n.index()], 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn throughput_degrades_with_fault_percentage() {
+    // The Figure 4 headline: more faults, less throughput (at full load).
+    let mesh = Mesh::square(10);
+    let cfg = SimConfig {
+        warmup_cycles: 2_000,
+        measure_cycles: 8_000,
+        ..SimConfig::paper()
+    };
+    let mut rng = SmallRng::seed_from_u64(5);
+    let p10 = random_pattern(&mesh, 10, &mut rng).unwrap();
+    let mut thr = Vec::new();
+    for pattern in [FaultPattern::fault_free(&mesh), p10] {
+        let mut s = sim(AlgorithmKind::DuatoNbc, pattern, 0.01, 100, cfg);
+        thr.push(s.run().normalized_throughput());
+    }
+    assert!(
+        thr[1] < thr[0] * 0.95,
+        "10% faults should cost >5% throughput: {thr:?}"
+    );
+}
+
+#[test]
+fn deterministic_reports_from_equal_seeds() {
+    let mesh = Mesh::square(10);
+    let cfg = SimConfig {
+        warmup_cycles: 300,
+        measure_cycles: 1_500,
+        ..SimConfig::paper()
+    };
+    let run = || {
+        let mut s = sim(
+            AlgorithmKind::FullyAdaptive,
+            FaultPattern::fault_free(&mesh),
+            0.003,
+            100,
+            cfg.with_seed(1234),
+        );
+        let r = s.run();
+        (
+            r.throughput.messages_delivered(),
+            r.throughput.flits_delivered(),
+            r.latency.count(),
+            format!("{:.9}", r.mean_latency()),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn short_messages_and_small_vc_budgets() {
+    // The engine is parameterized: 8-flit messages, 12 VCs.
+    let mesh = Mesh::square(10);
+    let ctx = Arc::new(RoutingContext::new(
+        mesh.clone(),
+        FaultPattern::fault_free(&mesh),
+    ));
+    let cfg = SimConfig {
+        warmup_cycles: 500,
+        measure_cycles: 2_000,
+        ..SimConfig::paper()
+    };
+    for kind in [
+        AlgorithmKind::Duato,
+        AlgorithmKind::MinimalAdaptive,
+        AlgorithmKind::BouraAdaptive,
+    ] {
+        let algo = build_algorithm(kind, ctx.clone(), VcConfig::with_total(12));
+        let mut wl = Workload::paper_uniform(0.01);
+        wl.message_length = 8;
+        let mut s = Simulator::new(algo, ctx.clone(), wl, cfg);
+        let r = s.run();
+        assert!(r.throughput.messages_delivered() > 500, "{kind:?}");
+    }
+}
+
+#[test]
+fn run_until_drained_delivers_directed_messages() {
+    let mesh = Mesh::square(10);
+    let cfg = SimConfig::quick();
+    let mut s = sim(
+        AlgorithmKind::Nbc,
+        FaultPattern::fault_free(&mesh),
+        0.0,
+        60,
+        cfg,
+    );
+    let ids: Vec<_> = (0..20)
+        .map(|i| s.inject_message(mesh.node(i % 10, 0), mesh.node(9 - i % 10, 9)))
+        .collect();
+    assert!(s.run_until_drained(20_000));
+    for id in ids {
+        assert!(s.is_delivered(id));
+    }
+}

@@ -1,0 +1,130 @@
+//! Statistical sanity of the full pipeline: offered-vs-delivered tracking,
+//! latency bounds, VC-usage signatures, and workload distributions.
+
+use std::sync::Arc;
+use wormsim_engine::{SimConfig, Simulator};
+use wormsim_fault::FaultPattern;
+use wormsim_routing::{build_algorithm, AlgorithmKind, RoutingContext, VcConfig};
+use wormsim_topology::Mesh;
+use wormsim_traffic::Workload;
+
+fn report(kind: AlgorithmKind, rate: f64, cycles: (u64, u64)) -> wormsim_metrics::SimReport {
+    let mesh = Mesh::square(10);
+    let ctx = Arc::new(RoutingContext::new(
+        mesh.clone(),
+        FaultPattern::fault_free(&mesh),
+    ));
+    let algo = build_algorithm(kind, ctx.clone(), VcConfig::paper());
+    let cfg = SimConfig {
+        warmup_cycles: cycles.0,
+        measure_cycles: cycles.1,
+        ..SimConfig::paper()
+    };
+    let mut sim = Simulator::new(algo, ctx, Workload::paper_uniform(rate), cfg);
+    sim.run()
+}
+
+#[test]
+fn latency_at_least_message_length_plus_distance() {
+    let r = report(AlgorithmKind::Duato, 0.0005, (1_000, 6_000));
+    // Minimum over delivered messages: ≥ length (pipeline drain) + 1 hop.
+    assert!(r.network_latency.min().unwrap() >= 101);
+    // Mean reflects the ~7-hop average distance of uniform traffic plus
+    // the 100-cycle pipeline: comfortably above 105, below heavy
+    // congestion levels at this tiny load.
+    let mean = r.mean_network_latency();
+    assert!(mean > 105.0 && mean < 400.0, "mean latency {mean}");
+}
+
+#[test]
+fn throughput_tracks_offered_then_saturates() {
+    let low = report(AlgorithmKind::NHop, 0.0005, (1_000, 6_000));
+    let mid = report(AlgorithmKind::NHop, 0.0015, (1_000, 6_000));
+    let sat = report(AlgorithmKind::NHop, 0.02, (1_000, 6_000));
+    let sat2 = report(AlgorithmKind::NHop, 0.03, (1_000, 6_000));
+    assert!((low.normalized_throughput() - 0.05).abs() < 0.01);
+    assert!((mid.normalized_throughput() - 0.15).abs() < 0.03);
+    // Past saturation, throughput stops growing (within noise).
+    let (a, b) = (sat.normalized_throughput(), sat2.normalized_throughput());
+    assert!(a > 0.15, "saturation throughput {a}");
+    assert!((a - b).abs() < 0.05, "throughput kept growing: {a} vs {b}");
+}
+
+#[test]
+fn latency_grows_with_load() {
+    let low = report(AlgorithmKind::Pbc, 0.0005, (1_000, 6_000));
+    let high = report(AlgorithmKind::Pbc, 0.003, (1_000, 6_000));
+    assert!(high.mean_network_latency() > low.mean_network_latency());
+}
+
+#[test]
+fn phop_concentrates_usage_in_low_vcs() {
+    // The paper's Figure 3 signature: hop-based algorithms use the
+    // low-numbered classes far more than the high ones.
+    let r = report(AlgorithmKind::PHop, 0.002, (1_000, 6_000));
+    let u = r.vc_usage.utilization();
+    let low: f64 = u[0..6].iter().sum();
+    let high: f64 = u[12..18].iter().sum();
+    assert!(
+        low > high * 3.0,
+        "PHop should skew to low classes: low={low:.4} high={high:.4}"
+    );
+}
+
+#[test]
+fn free_choice_spreads_usage_evenly() {
+    let r = report(AlgorithmKind::MinimalAdaptive, 0.002, (1_000, 6_000));
+    let u = r.vc_usage.utilization();
+    // Compare only the base VCs (20 of them); BC VCs are unused fault-free.
+    let base = &u[0..20];
+    let mean = base.iter().sum::<f64>() / base.len() as f64;
+    for (i, &v) in base.iter().enumerate() {
+        assert!(
+            (v - mean).abs() < mean * 0.5,
+            "VC{i} far from even: {v:.4} vs mean {mean:.4}"
+        );
+    }
+    // The paper's imbalance contrast against PHop.
+    let phop = report(AlgorithmKind::PHop, 0.002, (1_000, 6_000));
+    assert!(phop.vc_usage.imbalance() > r.vc_usage.imbalance() * 1.5);
+}
+
+#[test]
+fn bc_vcs_unused_without_faults() {
+    let r = report(AlgorithmKind::Nbc, 0.002, (1_000, 6_000));
+    let u = r.vc_usage.utilization();
+    for (vc, &usage) in u.iter().enumerate().take(24).skip(20) {
+        assert_eq!(usage, 0.0, "BC VC{vc} used on a fault-free mesh");
+    }
+}
+
+#[test]
+fn node_load_is_center_heavy_under_uniform_traffic() {
+    // Minimal routing on a mesh concentrates load in the center.
+    let r = report(AlgorithmKind::Duato, 0.002, (1_000, 6_000));
+    let mesh = Mesh::square(10);
+    let loads = r.node_load.load_per_cycle();
+    let center = loads[mesh.node(4, 4).index()]
+        + loads[mesh.node(5, 5).index()]
+        + loads[mesh.node(4, 5).index()]
+        + loads[mesh.node(5, 4).index()];
+    let corners = loads[mesh.node(0, 0).index()]
+        + loads[mesh.node(9, 9).index()]
+        + loads[mesh.node(0, 9).index()]
+        + loads[mesh.node(9, 0).index()];
+    assert!(
+        center > corners * 2.0,
+        "center {center:.3} should dominate corners {corners:.3}"
+    );
+}
+
+#[test]
+fn injection_counts_match_rate() {
+    let r = report(AlgorithmKind::Duato, 0.002, (2_000, 10_000));
+    // 100 nodes × 0.002 × 10_000 = 2_000 expected injections in-window.
+    let injected = r.throughput.messages_injected();
+    assert!(
+        (1_700..=2_300).contains(&injected),
+        "injected {injected}, expected ≈ 2000"
+    );
+}
