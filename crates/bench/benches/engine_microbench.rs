@@ -53,6 +53,25 @@ fn bench(c: &mut Criterion) {
     }
     g.finish();
 
+    // Paper-scale steady state — the configuration `bench_engine` tracks
+    // in BENCH_engine.json: 10×10 mesh, 24 VCs, 100-flit messages at
+    // 100 % load, full 30 000-cycle warm-up + measurement schedule.
+    let mut g = c.benchmark_group("steady_state");
+    g.sample_size(3);
+    g.bench_function("paper_scale_30k_cycles", |b| {
+        b.iter(|| {
+            let ctx = Arc::new(RoutingContext::new(
+                mesh.clone(),
+                FaultPattern::fault_free(&mesh),
+            ));
+            let algo = build_algorithm(AlgorithmKind::Duato, ctx.clone(), VcConfig::paper());
+            let mut sim =
+                Simulator::new(algo, ctx, Workload::paper_uniform(0.01), SimConfig::paper());
+            sim.run()
+        })
+    });
+    g.finish();
+
     // Raw cycle throughput at saturation.
     c.bench_function("sim_2000_cycles_saturated", |b| {
         b.iter(|| {

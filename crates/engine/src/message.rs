@@ -14,8 +14,17 @@ pub struct MsgId(pub(crate) u32);
 /// are buffered there now.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct PathEntry {
-    /// `channel.index() * num_vcs + vc`.
+    /// `channel.index() * num_vcs + vc` — index into the VC-slot table.
     pub key: u32,
+    /// The physical channel, i.e. `key / num_vcs`. Precomputed at
+    /// allocation time: the per-cycle pipeline loop needs it for link
+    /// arbitration, and a runtime division there dominates the hot path.
+    pub ch: u32,
+    /// The VC index, i.e. `key % num_vcs`. Precomputed likewise.
+    pub vc: u8,
+    /// The channel's downstream node (`mesh.channel_dest(ch)`), known at
+    /// allocation time. Held channels always have a destination.
+    pub dest: NodeId,
     /// Flits that have entered this VC (cumulative; the header is flit 0).
     pub entered: u32,
     /// Flits currently in the downstream buffer.
@@ -67,6 +76,32 @@ impl Msg {
         }
     }
 
+    /// Reinitialize a recycled slab slot for a fresh message. Unlike
+    /// overwriting with [`Msg::new`], the `path` deque keeps its allocated
+    /// capacity, so steady-state slab reuse performs no heap allocation.
+    pub fn reset(
+        &mut self,
+        src: NodeId,
+        dest: NodeId,
+        length: u32,
+        created: u64,
+        state: MessageState,
+    ) {
+        debug_assert!(self.path.is_empty(), "recycled message still holds VCs");
+        self.src = src;
+        self.dest = dest;
+        self.length = length;
+        self.created = created;
+        self.first_injected = None;
+        self.state = state;
+        self.path.clear();
+        self.at_source = length;
+        self.delivered = 0;
+        self.last_progress = created;
+        self.alive = true;
+        self.recoveries = 0;
+    }
+
     /// Whether the header flit is sitting in the buffer of the last held VC
     /// (routable) — true once it has entered and before it moves on.
     pub fn header_at_head(&self) -> bool {
@@ -98,6 +133,9 @@ mod tests {
         let mut m = Msg::new(NodeId(0), NodeId(5), 10, 0, st);
         m.path.push_back(PathEntry {
             key: 3,
+            ch: 0,
+            vc: 3,
+            dest: NodeId(1),
             entered: 0,
             occ: 0,
         });

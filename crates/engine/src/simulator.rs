@@ -45,6 +45,11 @@ pub struct Simulator {
     eject_used: Vec<bool>,
     /// Scratch order buffer, shuffled every cycle.
     order: Vec<u32>,
+    /// Scratch buffer for watchdog-expired message ids (reused per cycle).
+    stuck_scratch: Vec<u32>,
+    /// Scratch buffer for free `(slot key, vc)` allocation candidates
+    /// (reused per routing decision).
+    eligible_scratch: Vec<(u32, u8)>,
 
     latency: LatencyStats,
     network_latency: LatencyStats,
@@ -104,6 +109,8 @@ impl Simulator {
             link_used: vec![false; mesh.num_channel_slots()],
             eject_used: vec![false; num_nodes],
             order: Vec::new(),
+            stuck_scratch: Vec::new(),
+            eligible_scratch: Vec::new(),
             latency: LatencyStats::new(),
             network_latency: LatencyStats::new(),
             throughput: ThroughputStats::new(num_healthy),
@@ -184,12 +191,15 @@ impl Simulator {
 
     fn alloc_msg(&mut self, src: NodeId, dest: NodeId) -> MsgId {
         let state = self.algo.init_message(src, dest);
-        let msg = Msg::new(src, dest, self.workload.message_length, self.cycle, state);
+        let length = self.workload.message_length;
         if let Some(idx) = self.free_list.pop() {
-            self.msgs[idx as usize] = msg;
+            // Reset in place: keeps the slot's path capacity, so slab
+            // reuse allocates nothing.
+            self.msgs[idx as usize].reset(src, dest, length, self.cycle, state);
             MsgId(idx)
         } else {
-            self.msgs.push(msg);
+            self.msgs
+                .push(Msg::new(src, dest, length, self.cycle, state));
             MsgId(self.msgs.len() as u32 - 1)
         }
     }
@@ -213,11 +223,7 @@ impl Simulator {
     fn head_node(&self, m: &Msg) -> NodeId {
         match m.path.back() {
             None => m.src,
-            Some(e) => self
-                .ctx
-                .mesh()
-                .channel_dest(self.key_channel(e.key))
-                .expect("held channel must have a destination"),
+            Some(e) => e.dest,
         }
     }
 
@@ -317,6 +323,16 @@ impl Simulator {
                     Some(&id),
                     "path entry not owned by its message"
                 );
+                assert_eq!(
+                    (e.ch, e.vc),
+                    (self.key_channel(e.key).0, self.key_vc(e.key)),
+                    "path entry's cached channel/vc out of sync with its key"
+                );
+                assert_eq!(
+                    Some(e.dest),
+                    self.ctx.mesh().channel_dest(ChannelId(e.ch)),
+                    "path entry's cached downstream node out of sync"
+                );
                 seen += 1;
             }
             // 2. Flit accounting along the path.
@@ -404,29 +420,24 @@ impl Simulator {
 
         // 6. Watchdog.
         let timeout = self.cfg.deadlock_timeout;
-        let stuck: Vec<u32> = self
-            .active
-            .iter()
-            .copied()
-            .filter(|&id| {
-                let m = &self.msgs[id as usize];
-                m.alive && self.cycle.saturating_sub(m.last_progress) > timeout
-            })
-            .collect();
-        for id in stuck {
+        let mut stuck = std::mem::take(&mut self.stuck_scratch);
+        stuck.clear();
+        stuck.extend(self.active.iter().copied().filter(|&id| {
+            let m = &self.msgs[id as usize];
+            m.alive && self.cycle.saturating_sub(m.last_progress) > timeout
+        }));
+        for &id in &stuck {
             self.recover(id);
         }
+        self.stuck_scratch = stuck;
 
-        // 7. Statistics & cleanup.
+        // 7. Statistics & cleanup. VC-busy accounting is incremental:
+        // `vc_usage` tracks currently-held slots via acquire/release at the
+        // claim and release sites, and `tick()` folds them into the busy
+        // totals — no scan over active message paths.
         if measuring {
             self.vc_usage.tick();
             self.node_load.tick();
-            for &id in &self.active {
-                let m = &self.msgs[id as usize];
-                for e in &m.path {
-                    self.vc_usage.record_busy(self.key_vc(e.key));
-                }
-            }
         }
         let msgs = &self.msgs;
         self.active.retain(|&id| msgs[id as usize].alive);
@@ -435,15 +446,18 @@ impl Simulator {
     }
 
     fn generate_traffic(&mut self, measuring: bool) {
-        let mesh = self.ctx.mesh().clone();
-        for node in mesh.nodes() {
-            let due = self.injectors[node.index()].poll_rng(self.cycle, &mut self.rng);
+        // Node ids are dense (one injector per node, row-major), so index
+        // iteration visits the same nodes in the same order as
+        // `mesh.nodes()` without touching the mesh.
+        for idx in 0..self.injectors.len() {
+            let node = NodeId(idx as u16);
+            let due = self.injectors[idx].poll_rng(self.cycle, &mut self.rng);
             for _ in 0..due {
                 let Some(dest) = self.sampler.sample(node, &mut self.rng) else {
                     continue;
                 };
                 let id = self.alloc_msg(node, dest);
-                self.queues[node.index()].push_back(id.0);
+                self.queues[idx].push_back(id.0);
                 if measuring {
                     self.throughput.record_injection();
                 }
@@ -472,8 +486,11 @@ impl Simulator {
         let cands = self.algo.route(head, &mut state);
         let mesh = self.ctx.mesh();
 
-        // Gather free (channel, vc) pairs, preferred tier first.
-        let mut eligible: Vec<(u32, u8)> = Vec::new();
+        // Gather free (channel, vc) pairs, preferred tier first, into the
+        // reusable scratch buffer (taken out of `self` to satisfy the
+        // borrow checker; returned before every exit).
+        let mut eligible = std::mem::take(&mut self.eligible_scratch);
+        eligible.clear();
         for tier in 0..2 {
             for hop in cands.iter() {
                 let mask = if tier == 0 {
@@ -502,11 +519,13 @@ impl Simulator {
         }
 
         if eligible.is_empty() {
+            self.eligible_scratch = eligible;
             state.wait_cycles += 1;
             self.msgs[id as usize].state = state;
             return;
         }
         let &(key, vc) = eligible.choose(&mut self.rng).expect("non-empty");
+        self.eligible_scratch = eligible;
         let ch = self.key_channel(key);
         let next = mesh.channel_dest(ch).expect("candidate channel exists");
         let dir = mesh.channel_dir(ch);
@@ -515,10 +534,14 @@ impl Simulator {
             self.ring_hops += 1;
         }
         self.slots[key as usize] = Some(id);
+        self.vc_usage.acquire(vc);
         let m = &mut self.msgs[id as usize];
         m.state = state;
         m.path.push_back(PathEntry {
             key,
+            ch: ch.0,
+            vc,
+            dest: next,
             entered: 0,
             occ: 0,
         });
@@ -527,68 +550,66 @@ impl Simulator {
     /// Advance the message's flit pipeline by up to one flit per held link.
     fn move_flits(&mut self, id: u32, measuring: bool) {
         let depth = self.cfg.buffer_depth;
-        let mesh = self.ctx.mesh().clone();
         let m = &mut self.msgs[id as usize];
         if !m.alive || m.path.is_empty() {
             return;
         }
         let mut progressed = false;
 
+        // Work on a contiguous slice: the pipeline loop indexes entry
+        // pairs every cycle, and slice access skips the deque's
+        // ring-buffer arithmetic. `make_contiguous` only moves data right
+        // after a wrap, which is rare relative to per-cycle calls. Each
+        // entry carries its channel and downstream node, so no mesh
+        // queries (with their coordinate divisions) happen in here at all.
+        let path = m.path.make_contiguous();
+
         // Ejection at the destination (head entry only).
-        let head_idx = m.path.len() - 1;
-        let head_entry = m.path[head_idx];
-        let head_node = mesh
-            .channel_dest(ChannelId(head_entry.key / self.num_vcs as u32))
-            .expect("held channel has destination");
+        let head_idx = path.len() - 1;
+        let head_entry = path[head_idx];
+        let head_node = head_entry.dest;
         if head_node == m.dest && head_entry.occ > 0 && !self.eject_used[head_node.index()] {
             self.eject_used[head_node.index()] = true;
-            m.path[head_idx].occ -= 1;
+            path[head_idx].occ -= 1;
             m.delivered += 1;
             progressed = true;
         }
 
         // Pipeline shifts: into entry j from entry j-1, head side first so
         // slots freed this cycle can be refilled (standard pipelining).
-        for j in (1..m.path.len()).rev() {
-            let to_key = m.path[j].key;
-            let ch = to_key / self.num_vcs as u32;
-            if m.path[j - 1].occ > 0
-                && m.path[j].occ < depth
-                && m.path[j].entered < m.length
+        for j in (1..path.len()).rev() {
+            let ch = path[j].ch;
+            if path[j - 1].occ > 0
+                && path[j].occ < depth
+                && path[j].entered < m.length
                 && !self.link_used[ch as usize]
             {
                 self.link_used[ch as usize] = true;
-                m.path[j - 1].occ -= 1;
-                m.path[j].occ += 1;
-                m.path[j].entered += 1;
+                path[j - 1].occ -= 1;
+                path[j].occ += 1;
+                path[j].entered += 1;
                 progressed = true;
                 if measuring {
-                    let arrive = mesh
-                        .channel_dest(ChannelId(ch))
-                        .expect("held channel has destination");
-                    self.node_load.record_arrival(arrive);
+                    self.node_load.record_arrival(path[j].dest);
                 }
             }
         }
 
         // Source injection into the first held VC.
         if m.at_source > 0 {
-            let first = m.path[0];
-            let ch = first.key / self.num_vcs as u32;
+            let first = path[0];
+            let ch = first.ch;
             if first.occ < depth && first.entered < m.length && !self.link_used[ch as usize] {
                 self.link_used[ch as usize] = true;
-                m.path[0].occ += 1;
-                m.path[0].entered += 1;
+                path[0].occ += 1;
+                path[0].entered += 1;
                 m.at_source -= 1;
                 progressed = true;
                 if m.first_injected.is_none() {
                     m.first_injected = Some(self.cycle);
                 }
                 if measuring {
-                    let arrive = mesh
-                        .channel_dest(ChannelId(ch))
-                        .expect("held channel has destination");
-                    self.node_load.record_arrival(arrive);
+                    self.node_load.record_arrival(first.dest);
                 }
                 if m.at_source == 0 {
                     // The tail left the source: free the injection port.
@@ -606,6 +627,7 @@ impl Simulator {
             let front = m.path[0];
             if front.entered == m.length && front.occ == 0 {
                 self.slots[front.key as usize] = None;
+                self.vc_usage.release(front.vc);
                 m.path.pop_front();
             } else {
                 break;
@@ -616,6 +638,7 @@ impl Simulator {
         if m.is_complete() {
             for e in &m.path {
                 self.slots[e.key as usize] = None;
+                self.vc_usage.release(e.vc);
             }
             m.path.clear();
             m.alive = false;
@@ -664,6 +687,7 @@ impl Simulator {
             let m = &mut self.msgs[id as usize];
             for e in &m.path {
                 self.slots[e.key as usize] = None;
+                self.vc_usage.release(e.vc);
             }
             m.path.clear();
             m.at_source = m.length;
@@ -797,6 +821,62 @@ mod tests {
         assert_eq!(report.recoveries, 0);
         // VC usage should show some busy channels.
         assert!(report.vc_usage.utilization().iter().sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    fn incremental_vc_accounting_matches_path_scan() {
+        // The incrementally maintained held-slot counts must equal a
+        // brute-force scan over every active message's path after every
+        // cycle — including cycles with tail drains, completions, and
+        // watchdog recoveries (short timeout + faults force all three).
+        let mesh = Mesh::square(10);
+        let pattern =
+            FaultPattern::from_rects(&mesh, &[Rect::new(Coord::new(4, 4), Coord::new(5, 6))])
+                .unwrap();
+        let cfg = SimConfig {
+            warmup_cycles: 0,
+            measure_cycles: 1_000,
+            deadlock_timeout: 300,
+            ..SimConfig::paper()
+        };
+        let mut sim = make_sim(AlgorithmKind::MinimalAdaptive, pattern, 0.01, cfg);
+        for _ in 0..1_000 {
+            sim.step();
+            let mut scanned = vec![0u64; sim.num_vcs as usize];
+            for &id in &sim.active {
+                let m = &sim.msgs[id as usize];
+                for e in &m.path {
+                    scanned[sim.key_vc(e.key) as usize] += 1;
+                }
+            }
+            assert_eq!(
+                scanned,
+                sim.vc_usage.held_counts(),
+                "cycle {}: incremental held counts diverged from path scan",
+                sim.cycle()
+            );
+        }
+        assert!(sim.recoveries() > 0, "recovery release path unexercised");
+    }
+
+    #[test]
+    fn full_run_reports_are_byte_identical_for_a_seed() {
+        let mesh = Mesh::square(10);
+        let pattern = FaultPattern::from_faulty_coords(&mesh, [Coord::new(5, 5)]).unwrap();
+        let cfg = SimConfig {
+            warmup_cycles: 300,
+            measure_cycles: 1_200,
+            ..SimConfig::paper()
+        };
+        let run = || {
+            let mut sim = make_sim(AlgorithmKind::DuatoNbc, pattern.clone(), 0.006, cfg);
+            serde_json::to_string(&sim.run()).expect("report serializes")
+        };
+        assert_eq!(
+            run(),
+            run(),
+            "same-seed runs must produce identical reports"
+        );
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Engine steady-state performance harness.
+//!
+//! Runs the paper-scale configuration — 10×10 mesh, 24 VCs, 100-flit
+//! messages, Duato's routing at 100 % load — with a fixed seed, measures
+//! wall-clock cycles/sec and delivered messages/sec, and writes
+//! `BENCH_engine.json`. The same run's `SimReport` is fingerprinted so a
+//! perf change that alters simulation *results* is caught, not just one
+//! that alters speed.
+//!
+//! ```text
+//! cargo run --release -p wormsim-experiments --bin bench_engine
+//! cargo run --release -p wormsim-experiments --bin bench_engine -- \
+//!     --out BENCH_engine.json --dump-report report.json --repeats 3
+//! ```
+
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+use wormsim_engine::{SimConfig, Simulator};
+use wormsim_fault::FaultPattern;
+use wormsim_metrics::SimReport;
+use wormsim_routing::{build_algorithm, AlgorithmKind, RoutingContext, VcConfig};
+use wormsim_topology::Mesh;
+use wormsim_traffic::Workload;
+
+const MESH_SIZE: u16 = 10;
+const RATE: f64 = 0.01;
+const SEED: u64 = 0xB41C;
+
+#[derive(Serialize)]
+struct BenchRecord {
+    mesh_size: u16,
+    vcs: u8,
+    message_length: u32,
+    rate: f64,
+    seed: u64,
+    warmup_cycles: u64,
+    measure_cycles: u64,
+    repeats: u32,
+    /// Best-of-repeats wall-clock for one full run, seconds.
+    elapsed_secs: f64,
+    /// Simulated cycles per wall-clock second (best of repeats).
+    cycles_per_sec: f64,
+    /// Messages delivered in the measurement window.
+    messages_delivered: u64,
+    /// Delivered messages per wall-clock second (best of repeats).
+    messages_delivered_per_sec: f64,
+    /// FNV-1a over the run's serialized `SimReport`: the simulation-result
+    /// identity for this seed. Perf work must not change it.
+    report_fingerprint: String,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: bench_engine [--out PATH] [--dump-report PATH] [--repeats N]");
+    std::process::exit(2);
+}
+
+fn run_once() -> (SimReport, f64) {
+    let mesh = Mesh::square(MESH_SIZE);
+    let ctx = Arc::new(RoutingContext::new(
+        mesh.clone(),
+        FaultPattern::fault_free(&mesh),
+    ));
+    let algo = build_algorithm(AlgorithmKind::Duato, ctx.clone(), VcConfig::paper());
+    let cfg = SimConfig::paper().with_seed(SEED);
+    let mut sim = Simulator::new(algo, ctx, Workload::paper_uniform(RATE), cfg);
+    let start = Instant::now();
+    let report = sim.run();
+    (report, start.elapsed().as_secs_f64())
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn main() {
+    let mut out = "BENCH_engine.json".to_string();
+    let mut dump_report = None;
+    let mut repeats = 3u32;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = it.next().unwrap_or_else(|| usage()).clone(),
+            "--dump-report" => dump_report = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--repeats" => {
+                repeats = it
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .expect("repeats")
+            }
+            _ => usage(),
+        }
+    }
+    let repeats = repeats.max(1);
+
+    let cfg = SimConfig::paper();
+    let mut best_secs = f64::INFINITY;
+    let mut report = None;
+    for i in 0..repeats {
+        let (r, secs) = run_once();
+        eprintln!(
+            "run {}/{repeats}: {:.3}s ({:.0} cycles/sec)",
+            i + 1,
+            secs,
+            cfg.total_cycles() as f64 / secs
+        );
+        best_secs = best_secs.min(secs);
+        let json = serde_json::to_string_pretty(&r).expect("report serializes");
+        if let Some(prev) = &report {
+            let (prev_json, _): &(String, SimReport) = prev;
+            assert_eq!(
+                prev_json, &json,
+                "fixed-seed runs must produce identical reports"
+            );
+        } else {
+            report = Some((json, r));
+        }
+    }
+    let (report_json, report) = report.expect("at least one run");
+
+    let record = BenchRecord {
+        mesh_size: MESH_SIZE,
+        vcs: VcConfig::paper().total,
+        message_length: 100,
+        rate: RATE,
+        seed: SEED,
+        warmup_cycles: cfg.warmup_cycles,
+        measure_cycles: cfg.measure_cycles,
+        repeats,
+        elapsed_secs: best_secs,
+        cycles_per_sec: cfg.total_cycles() as f64 / best_secs,
+        messages_delivered: report.throughput.messages_delivered(),
+        messages_delivered_per_sec: report.throughput.messages_delivered() as f64 / best_secs,
+        report_fingerprint: format!("{:016x}", fnv1a(report_json.as_bytes())),
+    };
+    let record_json = serde_json::to_string_pretty(&record).expect("record serializes");
+    std::fs::write(&out, &record_json).expect("write bench record");
+    println!("{record_json}");
+    if let Some(path) = dump_report {
+        std::fs::write(&path, &report_json).expect("write report dump");
+        eprintln!("report dumped to {path}");
+    }
+}

@@ -92,7 +92,22 @@ where
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("worker panicked"))
+            .enumerate()
+            .flat_map(|(worker, h)| match h.join() {
+                Ok(out) => out,
+                // Re-raise the worker's own panic payload (message and
+                // all) instead of masking it behind a generic join error,
+                // so a crashing run identifies its work item.
+                Err(payload) => {
+                    let done = next.load(Ordering::Relaxed).min(items.len());
+                    eprintln!(
+                        "parallel_map: worker {worker}/{threads} panicked \
+                         ({done}/{} items claimed)",
+                        items.len()
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            })
             .collect()
     });
     collected.sort_by_key(|(i, _)| *i);

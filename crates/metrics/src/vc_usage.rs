@@ -1,16 +1,26 @@
 //! Per-virtual-channel utilization (paper Figure 3).
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Serializer, Value};
 
 /// Accumulates, per VC index, the number of (physical channel × cycle)
 /// slots in which that VC was held by a message. Normalizing by the number
 /// of existing physical channels and measured cycles yields the paper's
 /// "average usage of virtual channels".
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// Counting is incremental: the engine calls [`VcUsageStats::acquire`] /
+/// [`VcUsageStats::release`] as messages claim and free VC slots, and
+/// [`VcUsageStats::tick`] folds the currently-held counts into the busy
+/// totals once per measured cycle — no per-cycle scan over message paths.
+/// The explicit [`VcUsageStats::record_busy`] remains for accumulators
+/// fed from an external scan.
+#[derive(Clone, Debug)]
 pub struct VcUsageStats {
     busy: Vec<u64>,
     channels: u64,
     cycles: u64,
+    /// Slots currently held per VC index — live engine state, not a
+    /// statistic. Excluded from serialization and `merge`.
+    held: Vec<u64>,
 }
 
 impl VcUsageStats {
@@ -21,6 +31,7 @@ impl VcUsageStats {
             busy: vec![0; num_vcs as usize],
             channels: channels as u64,
             cycles: 0,
+            held: vec![0; num_vcs as usize],
         }
     }
 
@@ -30,10 +41,33 @@ impl VcUsageStats {
         self.busy[vc as usize] += 1;
     }
 
-    /// Advance the measured-cycle count.
+    /// A message claimed a slot on VC `vc` (any channel).
+    #[inline]
+    pub fn acquire(&mut self, vc: u8) {
+        self.held[vc as usize] += 1;
+    }
+
+    /// A message freed a slot on VC `vc` (any channel).
+    #[inline]
+    pub fn release(&mut self, vc: u8) {
+        let h = &mut self.held[vc as usize];
+        debug_assert!(*h > 0, "release of VC {vc} with no held slot");
+        *h -= 1;
+    }
+
+    /// Slots currently held per VC index (live state; see `acquire`).
+    pub fn held_counts(&self) -> &[u64] {
+        &self.held
+    }
+
+    /// Advance the measured-cycle count, folding the currently-held slot
+    /// counts into the busy totals.
     #[inline]
     pub fn tick(&mut self) {
         self.cycles += 1;
+        for (b, &h) in self.busy.iter_mut().zip(&self.held) {
+            *b += h;
+        }
     }
 
     /// Number of VC indices tracked.
@@ -73,7 +107,8 @@ impl VcUsageStats {
         var.sqrt() / mean
     }
 
-    /// Merge another accumulator (same shape) into this one.
+    /// Merge another accumulator (same shape) into this one. Only the
+    /// statistics merge; live held counts are per-engine state.
     pub fn merge(&mut self, other: &VcUsageStats) {
         assert_eq!(self.busy.len(), other.busy.len());
         assert_eq!(self.channels, other.channels);
@@ -81,6 +116,32 @@ impl VcUsageStats {
             *a += b;
         }
         self.cycles += other.cycles;
+    }
+}
+
+// Manual impls rather than derives: `held` is live engine state, not a
+// statistic, and keeping it out of the wire format preserves report
+// compatibility (and byte-identity for fixed-seed runs).
+impl Serialize for VcUsageStats {
+    fn serialize(&self, s: &mut Serializer) {
+        s.begin_map();
+        s.field("busy", &self.busy);
+        s.field("channels", &self.channels);
+        s.field("cycles", &self.cycles);
+        s.end_map();
+    }
+}
+
+impl Deserialize for VcUsageStats {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let busy: Vec<u64> = serde::__field(v, "busy")?;
+        let held = vec![0; busy.len()];
+        Ok(VcUsageStats {
+            busy,
+            channels: serde::__field(v, "channels")?,
+            cycles: serde::__field(v, "cycles")?,
+            held,
+        })
     }
 }
 
@@ -120,6 +181,38 @@ mod tests {
         v.tick();
         v.record_busy(0);
         assert!(v.imbalance() > 1.0);
+    }
+
+    #[test]
+    fn incremental_acquire_release_drives_tick() {
+        let mut v = VcUsageStats::new(4, 10);
+        v.acquire(0);
+        v.acquire(0);
+        v.acquire(2);
+        v.tick(); // busy += held: [2, 0, 1, 0]
+        v.release(0);
+        v.tick(); // busy += held: [1, 0, 1, 0]
+        v.release(0);
+        v.release(2);
+        v.tick(); // nothing held
+        assert_eq!(v.busy_counts(), &[3, 0, 2, 0]);
+        assert_eq!(v.held_counts(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn held_state_stays_out_of_serialization() {
+        let mut v = VcUsageStats::new(2, 5);
+        v.acquire(1);
+        v.tick();
+        let json = {
+            let mut s = serde::Serializer::compact();
+            v.serialize(&mut s);
+            s.finish()
+        };
+        assert_eq!(json, r#"{"busy":[0,1],"channels":5,"cycles":1}"#);
+        let back = VcUsageStats::deserialize(&serde::json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back.busy_counts(), v.busy_counts());
+        assert_eq!(back.held_counts(), &[0, 0], "held resets on deserialize");
     }
 
     #[test]

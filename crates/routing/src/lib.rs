@@ -59,7 +59,7 @@ pub use context::RoutingContext;
 pub use duato::{Duato, EscapeKind};
 pub use hop_based::{NHop, PHop};
 pub use state::{CandidateHop, Candidates, MessageState, MessageType, RingState, VcMask};
-pub use traits::{BaseRouting, Plain, RoutingAlgorithm};
+pub use traits::{greedy_trace, BaseRouting, Plain, RoutingAlgorithm, TraceError};
 pub use turn_model::{DimensionOrder, TurnModel, TurnModelKind};
 
 use serde::{Deserialize, Serialize};

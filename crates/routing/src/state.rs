@@ -76,7 +76,15 @@ impl VcMask {
 
     /// Iterate over member VC indices, ascending.
     pub fn iter(self) -> impl Iterator<Item = u8> {
-        (0..32u8).filter(move |&i| self.contains(i))
+        let mut bits = self.0;
+        core::iter::from_fn(move || {
+            if bits == 0 {
+                return None;
+            }
+            let i = bits.trailing_zeros() as u8;
+            bits &= bits - 1;
+            Some(i)
+        })
     }
 }
 

@@ -91,6 +91,80 @@ pub trait BaseRouting: Send + Sync {
     fn context(&self) -> &RoutingContext;
 }
 
+/// Why [`greedy_trace`] did not reach the destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceError {
+    /// The algorithm offered no candidate hop at `at` after `hops` hops.
+    /// For a correct algorithm on a connected healthy subgraph this means
+    /// a routing-table bug, not a transient condition.
+    Stuck {
+        /// Node where the walk ran out of candidates.
+        at: NodeId,
+        /// Hops completed before getting stuck.
+        hops: u32,
+    },
+    /// The walk exceeded `budget` hops without arriving (livelock).
+    HopBudgetExceeded {
+        /// The exhausted hop budget.
+        budget: u32,
+    },
+}
+
+impl core::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TraceError::Stuck { at, hops } => {
+                write!(f, "no candidates at {at:?} after {hops} hops")
+            }
+            TraceError::HopBudgetExceeded { budget } => {
+                write!(f, "exceeded {budget} hops without arriving")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Walk a message from `src` to `dest`, always taking the algorithm's
+/// first candidate direction on its lowest permitted VC, and return the
+/// hop count. A connectivity/livelock diagnostic for tests and tools:
+/// instead of panicking mid-walk, a stuck or non-terminating walk comes
+/// back as a structured [`TraceError`].
+pub fn greedy_trace(
+    algo: &dyn RoutingAlgorithm,
+    src: NodeId,
+    dest: NodeId,
+    budget: u32,
+) -> Result<u32, TraceError> {
+    let mesh = algo.context().mesh();
+    let mut st = algo.init_message(src, dest);
+    let mut cur = src;
+    let mut hops = 0u32;
+    while cur != dest {
+        if hops >= budget {
+            return Err(TraceError::HopBudgetExceeded { budget });
+        }
+        let cands = algo.route(cur, &mut st);
+        let Some(hop) = cands.iter().next() else {
+            return Err(TraceError::Stuck { at: cur, hops });
+        };
+        let mask = if hop.preferred.is_empty() {
+            hop.fallback
+        } else {
+            hop.preferred
+        };
+        let vc = mask.iter().next().unwrap_or(0);
+        let Some(next) = mesh.neighbor(cur, hop.dir) else {
+            // An off-mesh candidate is as dead an end as no candidate.
+            return Err(TraceError::Stuck { at: cur, hops });
+        };
+        algo.on_hop(cur, next, hop.dir, vc, &mut st);
+        cur = next;
+        hops += 1;
+    }
+    Ok(hops)
+}
+
 /// Adapter that runs a base discipline with **no** fault-tolerance overlay.
 /// Used for the Boura fault-tolerant scheme (which does its own fault
 /// handling via labeling) and for fault-free ablation runs.

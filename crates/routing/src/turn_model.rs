@@ -303,7 +303,7 @@ mod tests {
             TurnModelKind::NorthLast,
             TurnModelKind::NegativeFirst,
         ] {
-            let tm = TurnModel::new(c.clone(), 20, kind);
+            let tm = crate::Plain::new(Box::new(TurnModel::new(c.clone(), 20, kind)));
             for (s, d) in [
                 ((0, 0), (9, 9)),
                 ((9, 9), (0, 0)),
@@ -311,21 +311,12 @@ mod tests {
                 ((8, 1), (3, 8)),
             ] {
                 let (src, dest) = (mesh.node(s.0, s.1), mesh.node(d.0, d.1));
-                let mut st = tm.init_message(src, dest);
-                let mut cur = src;
-                let mut hops = 0;
-                while cur != dest {
-                    let cands = tm.candidates(cur, &mut st);
-                    let h = cands
-                        .iter()
-                        .next()
-                        .unwrap_or_else(|| panic!("{kind:?} stuck at {:?}", mesh.coord(cur)));
-                    let next = mesh.neighbor(cur, h.dir).unwrap();
-                    tm.on_normal_hop(cur, next, h.dir, 0, &mut st);
-                    cur = next;
-                    hops += 1;
+                match crate::greedy_trace(&tm, src, dest, 400) {
+                    Ok(hops) => {
+                        assert_eq!(hops, mesh.distance(src, dest), "{kind:?} non-minimal")
+                    }
+                    Err(e) => panic!("{kind:?} {s:?}->{d:?}: {e}"),
                 }
-                assert_eq!(hops, mesh.distance(src, dest), "{kind:?} non-minimal");
             }
         }
     }

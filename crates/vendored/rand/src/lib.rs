@@ -1,0 +1,254 @@
+//! Vendored, dependency-free stand-in for the parts of the `rand` crate
+//! this workspace uses. The build environment has no registry access, so
+//! the real crate cannot be fetched; this shim keeps the public surface
+//! source-compatible for the call sites in the workspace.
+//!
+//! Faithfulness: [`rngs::SmallRng`] is xoshiro256++ seeded through
+//! splitmix64 — the same generator the real `rand` 0.8 uses on 64-bit
+//! targets — and integer range sampling uses the same widening-multiply
+//! rejection scheme, so statistical behavior matches the real crate.
+//! Exact bit-streams are not guaranteed and nothing in the workspace
+//! depends on them; every consumer seeds explicitly and only relies on
+//! determinism within this implementation.
+
+pub mod rngs;
+pub mod seq;
+
+/// A source of random 32/64-bit words. Subset of `rand_core::RngCore`.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable generators. Subset of `rand_core::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Build from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64`, expanded with splitmix64 (as `rand_core` does).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = sm.next().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// User-facing random-value methods. Subset of `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample uniformly from a range (`low..high` or `low..=high`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// A bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+impl<T: RngCore + ?Sized> RngCore for &mut T {
+    fn next_u32(&mut self) -> u32 {
+        T::next_u32(self)
+    }
+    fn next_u64(&mut self) -> u64 {
+        T::next_u64(self)
+    }
+}
+
+/// `f64` in `[0, 1)` with 53 random mantissa bits.
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges a value can be uniformly sampled from. Subset of
+/// `rand::distributions::uniform::SampleRange`. A single blanket impl per
+/// range shape (as in the real crate) keeps integer-literal inference
+/// working: `rng.gen_range(0..1000) < x_u32` must unify the literal with
+/// `u32` rather than falling back to `i32`.
+pub trait SampleRange<T> {
+    /// Draw one value.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Element types supporting uniform range sampling. Subset of
+/// `rand::distributions::uniform::SampleUniform`.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_exclusive<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    #[inline]
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_exclusive(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $unsigned:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_exclusive<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range");
+                let span = hi.wrapping_sub(lo) as $unsigned as u64;
+                lo.wrapping_add(sample_below(rng, span) as $t)
+            }
+            #[inline]
+            fn sample_inclusive<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty range");
+                let span = (hi.wrapping_sub(lo) as $unsigned as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full 64-bit domain.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(sample_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+);
+
+/// Uniform draw from `[0, span)` (`span > 0`) by 64×64→128 widening
+/// multiply with rejection — Lemire's unbiased method, as in `rand` 0.8.
+#[inline]
+fn sample_below<R: RngCore>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let zone = if span.is_power_of_two() {
+        u64::MAX
+    } else {
+        (span << span.leading_zeros()).wrapping_sub(1)
+    };
+    loop {
+        let v = rng.next_u64();
+        let m = (v as u128) * (span as u128);
+        let lo = m as u64;
+        if lo <= zone {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_exclusive<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty range");
+        let v = lo + unit_f64(rng.next_u64()) * (hi - lo);
+        // Guard against rounding onto the excluded upper bound.
+        if v < hi {
+            v
+        } else {
+            f64::from_bits(hi.to_bits() - 1)
+        }
+    }
+
+    #[inline]
+    fn sample_inclusive<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "empty range");
+        lo + unit_f64(rng.next_u64()) * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds_and_cover() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v: usize = rng.gen_range(0..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 0..10 appear");
+        for _ in 0..1_000 {
+            let v: u16 = rng.gen_range(3..=5);
+            assert!((3..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_range_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(1e-12..1.0);
+            assert!((1e-12..1.0).contains(&v), "{v} out of range");
+        }
+    }
+
+    #[test]
+    fn int_range_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut counts = [0u32; 7];
+        for _ in 0..70_000 {
+            counts[rng.gen_range(0usize..7)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "hits {hits}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Slice helpers. Subset of `rand::seq::SliceRandom`.
+
+use crate::{Rng, RngCore};
+
+/// Random operations over slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Uniformly pick one element, or `None` on an empty slice.
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Pick `amount` distinct elements (all of them when `amount >= len`).
+    /// Selection is uniform over subsets; order is unspecified, matching
+    /// the real crate's contract.
+    fn choose_multiple<R: RngCore>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&Self::Item>;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(rng.gen_range(0..self.len()))
+        }
+    }
+
+    fn choose_multiple<R: RngCore>(&self, rng: &mut R, amount: usize) -> std::vec::IntoIter<&T> {
+        let amount = amount.min(self.len());
+        // Partial Fisher–Yates over an index table: uniform without
+        // replacement, O(len) setup, O(amount) draws.
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let mut picked = Vec::with_capacity(amount);
+        for i in 0..amount {
+            let j = rng.gen_range(i..idx.len());
+            idx.swap(i, j);
+            picked.push(&self[idx[i]]);
+        }
+        picked.into_iter()
+    }
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn choose_none_on_empty() {
+        let v: Vec<u8> = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(v.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<u32> = (0..50).collect();
+        let mut rng = SmallRng::seed_from_u64(3);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn choose_multiple_distinct_and_complete() {
+        let v: Vec<u32> = (0..20).collect();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let picks: Vec<u32> = v.choose_multiple(&mut rng, 8).copied().collect();
+        assert_eq!(picks.len(), 8);
+        let set: std::collections::HashSet<_> = picks.iter().collect();
+        assert_eq!(set.len(), 8, "picks must be distinct");
+        // Asking for more than len returns everything.
+        let all: Vec<u32> = v.choose_multiple(&mut rng, 100).copied().collect();
+        assert_eq!(all.len(), 20);
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let v = [1u8, 2, 3];
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(*v.choose(&mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

@@ -1,0 +1,356 @@
+//! `Serialize`/`Deserialize` implementations for the std types the
+//! workspace's data model uses.
+
+use crate::{DeError, Deserialize, Serialize, Serializer, Value};
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut Serializer) {
+                s.write_u64(*self as u64);
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let raw = v.as_u64().ok_or_else(|| DeError::expected("unsigned integer", v))?;
+                <$t>::try_from(raw).map_err(|_| DeError(format!(
+                    "integer {raw} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut Serializer) {
+                s.write_i64(*self as i64);
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let raw = v.as_i64().ok_or_else(|| DeError::expected("integer", v))?;
+                <$t>::try_from(raw).map_err(|_| DeError(format!(
+                    "integer {raw} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self, s: &mut Serializer) {
+        s.write_f64(*self);
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            // serde_json writes non-finite floats as null; accept it back.
+            Value::Null => Ok(f64::NAN),
+            _ => v.as_f64().ok_or_else(|| DeError::expected("number", v)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, s: &mut Serializer) {
+        s.write_f64(*self as f64);
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        f64::deserialize(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, s: &mut Serializer) {
+        s.write_bool(*self);
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, s: &mut Serializer) {
+        s.write_str(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, s: &mut Serializer) {
+        s.write_str(self);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+/// `&'static str` fields (used for compile-time figure identifiers)
+/// deserialize by leaking the parsed string. Deserializing such metadata
+/// is rare and bounded, so the leak is acceptable — the real serde cannot
+/// express this case at all without borrowed lifetimes.
+impl Deserialize for &'static str {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        String::deserialize(v).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self, s: &mut Serializer) {
+        let mut buf = [0u8; 4];
+        s.write_str(self.encode_utf8(&mut buf));
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let s = String::deserialize(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError("expected single-character string".into())),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        match self {
+            None => s.write_null(),
+            Some(inner) => inner.serialize(s),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, s: &mut Serializer) {
+        s.begin_seq();
+        for item in self {
+            s.elem(item);
+        }
+        s.end_seq();
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        self.as_slice().serialize(s);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, s: &mut Serializer) {
+        self.as_slice().serialize(s);
+    }
+}
+
+impl<T: Deserialize + core::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::deserialize(v)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, s: &mut Serializer) {
+        (*self).serialize(s);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        (**self).serialize(s);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self, s: &mut Serializer) {
+                s.begin_seq();
+                $(s.elem(&self.$idx);)+
+                s.end_seq();
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let Value::Array(items) = v else {
+                    return Err(DeError::expected("tuple array", v));
+                };
+                let expected = [$($idx,)+].len();
+                if items.len() != expected {
+                    return Err(DeError(format!(
+                        "expected {expected}-tuple, got {} elements", items.len()
+                    )));
+                }
+                Ok(($($name::deserialize(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        s.begin_seq();
+        for item in self {
+            s.elem(item);
+        }
+        s.end_seq();
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<K: Serialize + core::fmt::Display, V: Serialize> Serialize
+    for std::collections::BTreeMap<K, V>
+{
+    fn serialize(&self, s: &mut Serializer) {
+        s.begin_map();
+        for (k, v) in self {
+            s.field(&k.to_string(), v);
+        }
+        s.end_map();
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self, s: &mut Serializer) {
+        match self {
+            Value::Null => s.write_null(),
+            Value::Bool(b) => s.write_bool(*b),
+            Value::UInt(v) => s.write_u64(*v),
+            Value::Int(v) => s.write_i64(*v),
+            Value::Float(v) => s.write_f64(*v),
+            Value::Str(v) => s.write_str(v),
+            Value::Array(items) => {
+                s.begin_seq();
+                for item in items {
+                    s.elem(item);
+                }
+                s.end_seq();
+            }
+            Value::Object(pairs) => {
+                s.begin_map();
+                for (k, v) in pairs {
+                    s.field(k, v);
+                }
+                s.end_map();
+            }
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_compact<T: Serialize>(v: &T) -> String {
+        let mut s = Serializer::compact();
+        v.serialize(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(to_compact(&42u64), "42");
+        assert_eq!(
+            u64::deserialize(&crate::json::parse("42").unwrap()).unwrap(),
+            42
+        );
+        assert_eq!(to_compact(&Some(1u8)), "1");
+        assert_eq!(to_compact(&Option::<u8>::None), "null");
+        assert!(u8::deserialize(&crate::json::parse("300").unwrap()).is_err());
+    }
+
+    #[test]
+    fn composite_roundtrips() {
+        let v: Vec<(String, Vec<f64>)> = vec![("a".into(), vec![1.0, 2.5])];
+        let text = to_compact(&v);
+        assert_eq!(text, r#"[["a",[1.0,2.5]]]"#);
+        let parsed = crate::json::parse(&text).unwrap();
+        let back = Vec::<(String, Vec<f64>)>::deserialize(&parsed).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        let arr = [Some(3u32), None, Some(7)];
+        let text = to_compact(&arr);
+        let back = <[Option<u32>; 3]>::deserialize(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, arr);
+    }
+
+    #[test]
+    fn nan_serializes_as_null_and_back() {
+        assert_eq!(to_compact(&f64::NAN), "null");
+        let back = f64::deserialize(&Value::Null).unwrap();
+        assert!(back.is_nan());
+    }
+}

@@ -1,0 +1,90 @@
+//! Vendored, dependency-free stand-in for `serde` (+ its derive macros).
+//! The build environment has no registry access, so the real crates cannot
+//! be fetched. This shim keeps `#[derive(Serialize, Deserialize)]` and the
+//! `serde_json` entry points the workspace uses source-compatible.
+//!
+//! Model: serialization writes JSON text directly through [`Serializer`];
+//! deserialization goes through a parsed [`Value`] tree. Only the JSON
+//! data format is supported — which is the only format this workspace
+//! uses. Representations follow serde's external tagging conventions so
+//! emitted files keep the same shape as with the real crates.
+
+mod impls;
+pub mod json;
+mod ser;
+
+pub use json::Value;
+pub use ser::Serializer;
+
+// The derive macros share their names with the traits, exactly like the
+// real serde's `derive` feature (macro and trait live in different
+// namespaces).
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can write themselves as JSON.
+pub trait Serialize {
+    /// Write `self` to the serializer.
+    fn serialize(&self, s: &mut Serializer);
+}
+
+/// Types reconstructible from a parsed JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Build from a value tree.
+    fn deserialize(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserialization error: a human-readable path + expectation message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl core::fmt::Display for DeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// Build an "expected X, got Y" error.
+    pub fn expected(what: &str, got: &Value) -> DeError {
+        DeError(format!("expected {what}, got {}", got.kind_name()))
+    }
+}
+
+/// Support function for derived code: look up and deserialize a struct
+/// field. Not part of the public API contract.
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(v: &Value, key: &str) -> Result<T, DeError> {
+    match v {
+        Value::Object(pairs) => match pairs.iter().find(|(k, _)| k == key) {
+            Some((_, inner)) => {
+                T::deserialize(inner).map_err(|e| DeError(format!("field `{key}`: {}", e.0)))
+            }
+            None => Err(DeError(format!("missing field `{key}`"))),
+        },
+        other => Err(DeError::expected("object", other)),
+    }
+}
+
+/// Support function for derived code: decompose an externally tagged enum
+/// value into `(variant_name, payload)`. Not part of the public API
+/// contract.
+#[doc(hidden)]
+pub fn __variant(v: &Value) -> Result<(&str, Option<&Value>), DeError> {
+    match v {
+        Value::Str(s) => Ok((s.as_str(), None)),
+        Value::Object(pairs) if pairs.len() == 1 => Ok((pairs[0].0.as_str(), Some(&pairs[0].1))),
+        other => Err(DeError::expected(
+            "variant string or single-key object",
+            other,
+        )),
+    }
+}
+
+/// Support function for derived code: the error for an unknown variant
+/// name. Not part of the public API contract.
+#[doc(hidden)]
+pub fn __unknown_variant(ty: &str, name: &str) -> DeError {
+    DeError(format!("unknown variant `{name}` for enum {ty}"))
+}

@@ -1,0 +1,279 @@
+//! The JSON text writer driven by [`crate::Serialize`] implementations.
+
+use crate::Serialize;
+
+/// Streaming JSON writer. Derived `Serialize` impls call the container
+/// and primitive methods; comma/indent bookkeeping is handled here.
+pub struct Serializer {
+    out: String,
+    pretty: bool,
+    /// One entry per open container: whether it has emitted an element yet.
+    stack: Vec<bool>,
+}
+
+impl Serializer {
+    /// Compact output (serde_json `to_string` shape).
+    pub fn compact() -> Self {
+        Serializer {
+            out: String::new(),
+            pretty: false,
+            stack: Vec::new(),
+        }
+    }
+
+    /// Pretty output, two-space indent (serde_json `to_string_pretty`
+    /// shape).
+    pub fn pretty() -> Self {
+        Serializer {
+            out: String::new(),
+            pretty: true,
+            stack: Vec::new(),
+        }
+    }
+
+    /// Consume the serializer, returning the JSON text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn newline_indent(&mut self, depth: usize) {
+        self.out.push('\n');
+        for _ in 0..depth {
+            self.out.push_str("  ");
+        }
+    }
+
+    /// Separator before an element/key at the current nesting level.
+    fn prepare_slot(&mut self) {
+        if let Some(has_items) = self.stack.last_mut() {
+            let had = *has_items;
+            *has_items = true;
+            if had {
+                self.out.push(',');
+            }
+            if self.pretty {
+                let depth = self.stack.len();
+                self.newline_indent(depth);
+            }
+        }
+    }
+
+    fn close(&mut self, bracket: char) {
+        let had_items = self.stack.pop().expect("container underflow");
+        if self.pretty && had_items {
+            let depth = self.stack.len();
+            self.newline_indent(depth);
+        }
+        self.out.push(bracket);
+    }
+
+    /// Open a JSON object.
+    pub fn begin_map(&mut self) {
+        self.out.push('{');
+        self.stack.push(false);
+    }
+
+    /// Close a JSON object.
+    pub fn end_map(&mut self) {
+        self.close('}');
+    }
+
+    /// Write one object entry: key plus any serializable value.
+    pub fn field<T: Serialize + ?Sized>(&mut self, key: &str, value: &T) {
+        self.prepare_slot();
+        self.write_escaped(key);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+        value.serialize(self);
+    }
+
+    /// Open a JSON array.
+    pub fn begin_seq(&mut self) {
+        self.out.push('[');
+        self.stack.push(false);
+    }
+
+    /// Close a JSON array.
+    pub fn end_seq(&mut self) {
+        self.close(']');
+    }
+
+    /// Write one array element.
+    pub fn elem<T: Serialize + ?Sized>(&mut self, value: &T) {
+        self.prepare_slot();
+        value.serialize(self);
+    }
+
+    /// Unit enum variant: externally tagged as a bare string.
+    pub fn unit_variant(&mut self, name: &str) {
+        self.write_str(name);
+    }
+
+    /// Newtype enum variant: `{"Name": value}`.
+    pub fn newtype_variant<T: Serialize + ?Sized>(&mut self, name: &str, value: &T) {
+        self.begin_map();
+        self.field(name, value);
+        self.end_map();
+    }
+
+    /// Open a struct variant: `{"Name": { ... } }`. Close with
+    /// [`Serializer::end_wrapped_variant`].
+    pub fn begin_struct_variant(&mut self, name: &str) {
+        self.begin_map();
+        self.prepare_slot();
+        self.write_escaped(name);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+        self.begin_map();
+    }
+
+    /// Open a tuple variant: `{"Name": [ ... ] }`. Close with
+    /// [`Serializer::end_wrapped_variant`].
+    pub fn begin_tuple_variant(&mut self, name: &str) {
+        self.begin_map();
+        self.prepare_slot();
+        self.write_escaped(name);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+        self.begin_seq();
+    }
+
+    /// Close the payload container and the tag object of a struct/tuple
+    /// variant.
+    pub fn end_wrapped_variant(&mut self, payload_bracket: char) {
+        self.close(payload_bracket);
+        self.end_map();
+    }
+
+    /// Literal `null`.
+    pub fn write_null(&mut self) {
+        self.out.push_str("null");
+    }
+
+    /// Boolean literal.
+    pub fn write_bool(&mut self, v: bool) {
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Unsigned integer literal.
+    pub fn write_u64(&mut self, v: u64) {
+        self.out.push_str(itoa_buffer(v, false).as_str());
+    }
+
+    /// Signed integer literal.
+    pub fn write_i64(&mut self, v: i64) {
+        if v < 0 {
+            self.out
+                .push_str(itoa_buffer(v.unsigned_abs(), true).as_str());
+        } else {
+            self.write_u64(v as u64);
+        }
+    }
+
+    /// Float literal. Non-finite values become `null`, as in serde_json.
+    pub fn write_f64(&mut self, v: f64) {
+        if v.is_finite() {
+            // Rust's shortest-roundtrip formatting, with serde_json's
+            // convention of keeping a fractional part on integral floats.
+            let s = format!("{v}");
+            self.out.push_str(&s);
+            if !s.contains(['.', 'e', 'E']) {
+                self.out.push_str(".0");
+            }
+        } else {
+            self.write_null();
+        }
+    }
+
+    /// String literal (escaped).
+    pub fn write_str(&mut self, v: &str) {
+        self.write_escaped(v);
+    }
+
+    fn write_escaped(&mut self, v: &str) {
+        self.out.push('"');
+        for c in v.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+/// Format an integer without going through `fmt` machinery.
+fn itoa_buffer(mut v: u64, neg: bool) -> String {
+    let mut digits = [0u8; 21];
+    let mut i = digits.len();
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    if neg {
+        i -= 1;
+        digits[i] = b'-';
+    }
+    String::from_utf8_lossy(&digits[i..]).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_and_numbers() {
+        let mut s = Serializer::compact();
+        s.begin_map();
+        s.field("a\"b", &1u64);
+        s.field("f", &2.5f64);
+        s.field("neg", &-7i64);
+        s.field("int_float", &3.0f64);
+        s.end_map();
+        assert_eq!(
+            s.finish(),
+            "{\"a\\\"b\":1,\"f\":2.5,\"neg\":-7,\"int_float\":3.0}"
+        );
+    }
+
+    #[test]
+    fn pretty_layout_matches_serde_json_shape() {
+        let mut s = Serializer::pretty();
+        s.begin_map();
+        s.field("x", &vec![1u32, 2]);
+        s.end_map();
+        assert_eq!(s.finish(), "{\n  \"x\": [\n    1,\n    2\n  ]\n}");
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut s = Serializer::pretty();
+        s.begin_seq();
+        s.end_seq();
+        assert_eq!(s.finish(), "[]");
+    }
+
+    #[test]
+    fn u64_max_roundtrips_textually() {
+        let mut s = Serializer::compact();
+        s.write_u64(u64::MAX);
+        assert_eq!(s.finish(), "18446744073709551615");
+    }
+}

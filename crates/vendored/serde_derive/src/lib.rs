@@ -1,0 +1,382 @@
+//! Vendored, dependency-free stand-in for `serde_derive`.
+//!
+//! The build environment has no registry access, so `syn`/`quote` are
+//! unavailable; the item is parsed directly from its token stream. Only
+//! the shapes this workspace actually derives are supported: non-generic
+//! structs (named, tuple, unit) and enums whose variants are unit
+//! (optionally with explicit discriminants), tuple, or struct-like.
+//! Serde field/container attributes are not interpreted — the workspace
+//! uses none.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (JSON text writer form).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derive `serde::Deserialize` (JSON value tree form).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+enum Body {
+    UnitStruct,
+    NamedStruct(Vec<String>),
+    /// Field count.
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Field count.
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive shim: generic type `{name}` is not supported");
+    }
+
+    let body = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => panic!("derive shim: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g))
+            }
+            other => panic!("derive shim: unexpected enum body {other:?}"),
+        },
+        other => panic!("derive shim: cannot derive for `{other}` items"),
+    };
+    Item { name, body }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        // `#` then the bracketed attribute body.
+        *i += 2;
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            // pub(crate) / pub(super) / ...
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("derive shim: expected identifier, found {other:?}"),
+    }
+}
+
+/// Advance past tokens until a comma at angle-bracket depth zero
+/// (consumed) or end of stream. Used to skip field types and enum
+/// discriminant expressions.
+fn skip_until_top_level_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(group: &Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        fields.push(expect_ident(&tokens, &mut i));
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("derive shim: expected `:` after field name, found {other:?}"),
+        }
+        skip_until_top_level_comma(&tokens, &mut i);
+    }
+    fields
+}
+
+fn count_tuple_fields(group: &Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break; // trailing comma
+        }
+        count += 1;
+        skip_until_top_level_comma(&tokens, &mut i);
+    }
+    count
+}
+
+fn parse_variants(group: &Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Consume the separating comma, skipping over `= discriminant`
+        // expressions on unit variants.
+        skip_until_top_level_comma(&tokens, &mut i);
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (emitted as source text, then re-parsed)
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::UnitStruct => "s.write_null();".to_string(),
+        Body::NamedStruct(fields) => {
+            let mut out = String::from("s.begin_map();\n");
+            for f in fields {
+                out.push_str(&format!("s.field(\"{f}\", &self.{f});\n"));
+            }
+            out.push_str("s.end_map();");
+            out
+        }
+        Body::TupleStruct(1) => "self.0.serialize(s);".to_string(),
+        Body::TupleStruct(n) => {
+            let mut out = String::from("s.begin_seq();\n");
+            for idx in 0..*n {
+                out.push_str(&format!("s.elem(&self.{idx});\n"));
+            }
+            out.push_str("s.end_seq();");
+            out
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => s.unit_variant(\"{vname}\"),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vname}(f0) => s.newtype_variant(\"{vname}\", f0),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let elems: Vec<String> =
+                            binds.iter().map(|b| format!("s.elem({b});")).collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{ s.begin_tuple_variant(\"{vname}\"); {} s.end_wrapped_variant(']'); }}\n",
+                            binds.join(", "),
+                            elems.join(" "),
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let writes: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("s.field(\"{f}\", {f});"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{ s.begin_struct_variant(\"{vname}\"); {} s.end_wrapped_variant('}}'); }}\n",
+                            fields.join(", "),
+                            writes.join(" "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self, s: &mut ::serde::Serializer) {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::UnitStruct => format!(
+            "match v {{\n\
+                 ::serde::Value::Null => Ok({name}),\n\
+                 other => Err(::serde::DeError::expected(\"null\", other)),\n\
+             }}"
+        ),
+        Body::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(v, \"{f}\")?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Body::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize(v)?))")
+        }
+        Body::TupleStruct(n) => gen_tuple_payload(name, "", *n, "v"),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                    }
+                    VariantKind::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let p = {};\n\
+                                 Ok({name}::{vname}(::serde::Deserialize::deserialize(p)?))\n\
+                             }}\n",
+                            payload_expr(vname),
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let p = {};\n\
+                                 {}\n\
+                             }}\n",
+                            payload_expr(vname),
+                            gen_tuple_payload(name, &format!("::{vname}"), *n, "p"),
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::__field(p, \"{f}\")?"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let p = {};\n\
+                                 Ok({name}::{vname} {{ {} }})\n\
+                             }}\n",
+                            payload_expr(vname),
+                            inits.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "let (tag, payload) = ::serde::__variant(v)?;\n\
+                 match tag {{\n\
+                     {arms}\
+                     other => Err(::serde::__unknown_variant(\"{name}\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+/// Expression extracting a required variant payload from `payload`.
+fn payload_expr(vname: &str) -> String {
+    format!(
+        "payload.ok_or_else(|| ::serde::DeError(::std::string::String::from(\
+             \"variant `{vname}` expects a payload\")))?"
+    )
+}
+
+/// Match a JSON array of exactly `n` elements and build
+/// `Name[::Variant](e0, e1, ...)` from it.
+fn gen_tuple_payload(name: &str, variant_path: &str, n: usize, source: &str) -> String {
+    let elems: Vec<String> = (0..n)
+        .map(|k| format!("::serde::Deserialize::deserialize(&items[{k}])?"))
+        .collect();
+    format!(
+        "match {source} {{\n\
+             ::serde::Value::Array(items) if items.len() == {n} => \
+                 Ok({name}{variant_path}({})),\n\
+             other => Err(::serde::DeError::expected(\"array of {n} elements\", other)),\n\
+         }}",
+        elems.join(", "),
+    )
+}

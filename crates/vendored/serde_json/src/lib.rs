@@ -1,0 +1,78 @@
+//! Vendored, dependency-free stand-in for `serde_json`, providing the
+//! three entry points the workspace uses (`to_string`, `to_string_pretty`,
+//! `from_str`) over the shim `serde` traits. Output shape matches real
+//! serde_json conventions (compact separators; two-space pretty indent;
+//! externally tagged enums).
+
+pub use serde::json::Value;
+use serde::{Deserialize, Serialize, Serializer};
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serialize a value to compact JSON text.
+///
+/// Infallible for this shim's writer (kept `Result` for source
+/// compatibility with real serde_json).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut s = Serializer::compact();
+    value.serialize(&mut s);
+    Ok(s.finish())
+}
+
+/// Serialize a value to pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut s = Serializer::pretty();
+    value.serialize(&mut s);
+    Ok(s.finish())
+}
+
+/// Parse JSON text into a value.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let parsed = serde::json::parse(text)?;
+    Ok(T::deserialize(&parsed)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_facade() {
+        let v: Vec<Option<u64>> = vec![Some(u64::MAX), None, Some(0)];
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "[18446744073709551615,null,0]");
+        let back: Vec<Option<u64>> = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_differs_only_in_whitespace() {
+        let v = vec![1u8, 2];
+        let compact = to_string(&v).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        let stripped: String = pretty.chars().filter(|c| !c.is_whitespace()).collect();
+        assert_eq!(stripped, compact);
+    }
+
+    #[test]
+    fn parse_error_is_reported() {
+        let r: Result<Vec<u8>, Error> = from_str("[1, 2");
+        assert!(r.is_err());
+    }
+}
