@@ -1,0 +1,73 @@
+//! The engine-facing side: turning a [`FaultSchedule`] into
+//! [`FaultActivation`]s delivered at the scheduled cycles.
+
+use crate::schedule::{FaultSchedule, ScheduleError};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use wormsim_engine::{FaultActivation, FaultDriver};
+use wormsim_fault::FaultPattern;
+use wormsim_routing::{build_algorithm, AlgorithmKind, RoutingContext, VcConfig};
+
+/// A [`FaultDriver`] that replays a validated [`FaultSchedule`].
+///
+/// Activation patterns are precomputed at construction (so a bad schedule
+/// fails before the simulation starts, not mid-run). On each due event the
+/// driver derives the next routing context incrementally via
+/// [`RoutingContext::with_pattern`] — unchanged fault regions keep their
+/// f-rings rather than being rebuilt from scratch — and instantiates a
+/// fresh algorithm of the same kind over it.
+pub struct ChaosDriver {
+    /// `(cycle, cumulative pattern)` pairs not yet delivered, sorted.
+    pending: VecDeque<(u64, FaultPattern)>,
+    /// Context the *previous* activation produced (the rebuild baseline).
+    ctx: Arc<RoutingContext>,
+    kind: AlgorithmKind,
+    vc: VcConfig,
+}
+
+impl ChaosDriver {
+    /// Build a driver replaying `schedule` on top of `base_ctx`.
+    ///
+    /// `kind`/`vc` must match the algorithm the simulator was constructed
+    /// with: each activation swaps in a new instance of the same algorithm
+    /// bound to the updated context.
+    pub fn new(
+        schedule: &FaultSchedule,
+        base_ctx: Arc<RoutingContext>,
+        kind: AlgorithmKind,
+        vc: VcConfig,
+    ) -> Result<Self, ScheduleError> {
+        let patterns = schedule.cumulative_patterns(base_ctx.mesh(), base_ctx.pattern())?;
+        let pending = schedule
+            .events()
+            .iter()
+            .map(|e| e.cycle)
+            .zip(patterns)
+            .collect();
+        Ok(ChaosDriver {
+            pending,
+            ctx: base_ctx,
+            kind,
+            vc,
+        })
+    }
+
+    /// Events not yet delivered.
+    pub fn remaining(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+impl FaultDriver for ChaosDriver {
+    fn poll(&mut self, cycle: u64) -> Option<FaultActivation> {
+        let due = self.pending.front().is_some_and(|&(at, _)| at <= cycle);
+        if !due {
+            return None;
+        }
+        let (_, pattern) = self.pending.pop_front().expect("checked front");
+        let ctx = Arc::new(self.ctx.with_pattern(pattern));
+        self.ctx = ctx.clone();
+        let algo = build_algorithm(self.kind, ctx.clone(), self.vc);
+        Some(FaultActivation { ctx, algo })
+    }
+}

@@ -1,0 +1,254 @@
+//! Deterministic fault schedules: which nodes die at which cycles.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+use wormsim_fault::{FaultPattern, PatternError};
+use wormsim_topology::{Coord, Mesh, NodeId};
+
+/// One fault activation: at `cycle`, every node in `coords` fails
+/// simultaneously (they coalesce with each other and with pre-existing
+/// regions under the block fault model).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Simulation cycle the nodes die.
+    pub cycle: u64,
+    /// The nodes that fail (seed faults; the convex closure may disable
+    /// more).
+    pub coords: Vec<Coord>,
+}
+
+/// A schedule rejected during validation, tagged with the offending event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleError {
+    /// Cycle of the event that failed to apply.
+    pub cycle: u64,
+    /// Why the extended pattern was unacceptable.
+    pub source: PatternError,
+}
+
+impl core::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "fault event at cycle {}: {}", self.cycle, self.source)
+    }
+}
+
+impl std::error::Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// A validated sequence of fault events, sorted by cycle.
+///
+/// Validation folds [`FaultPattern::extend`] over the events from `base`:
+/// every prefix of the schedule must leave the healthy mesh connected and
+/// non-empty, mirroring the paper's §2.2 acceptability rules at every
+/// point in time — a schedule that would disconnect survivors mid-run is
+/// rejected up front, not at activation time.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// Validate `events` against `base` (sorting them by cycle; ties keep
+    /// their given order and apply as separate events).
+    pub fn new(
+        mesh: &Mesh,
+        base: &FaultPattern,
+        mut events: Vec<FaultEvent>,
+    ) -> Result<Self, ScheduleError> {
+        events.sort_by_key(|e| e.cycle);
+        let schedule = FaultSchedule { events };
+        schedule.cumulative_patterns(mesh, base)?;
+        Ok(schedule)
+    }
+
+    /// Draw a random schedule: `events.len() == num_events`, each killing
+    /// `faults_per_event` currently-healthy nodes at a cycle uniform in
+    /// `window`. Rejection-samples each event until the extended pattern is
+    /// acceptable (budgeted; [`PatternError::GenerationFailed`] when a mesh
+    /// is too broken to extend).
+    pub fn random<R: Rng>(
+        mesh: &Mesh,
+        base: &FaultPattern,
+        num_events: usize,
+        faults_per_event: usize,
+        window: Range<u64>,
+        rng: &mut R,
+    ) -> Result<Self, ScheduleError> {
+        assert!(!window.is_empty(), "empty fault-arrival window");
+        const ATTEMPTS: usize = 500;
+        let mut cycles: Vec<u64> = (0..num_events)
+            .map(|_| rng.gen_range(window.clone()))
+            .collect();
+        cycles.sort_unstable();
+        let mut cur = base.clone();
+        let mut events = Vec::with_capacity(num_events);
+        for cycle in cycles {
+            let healthy: Vec<NodeId> = cur.healthy_nodes(mesh).collect();
+            let mut accepted = None;
+            for _ in 0..ATTEMPTS {
+                let coords: Vec<Coord> = healthy
+                    .choose_multiple(rng, faults_per_event)
+                    .map(|&n| mesh.coord(n))
+                    .collect();
+                if coords.len() < faults_per_event {
+                    break; // not enough healthy nodes left
+                }
+                if let Ok(next) = cur.extend(mesh, coords.iter().copied()) {
+                    accepted = Some((coords, next));
+                    break;
+                }
+            }
+            let Some((coords, next)) = accepted else {
+                return Err(ScheduleError {
+                    cycle,
+                    source: PatternError::GenerationFailed,
+                });
+            };
+            cur = next;
+            events.push(FaultEvent { cycle, coords });
+        }
+        Ok(FaultSchedule { events })
+    }
+
+    /// The events, sorted by cycle.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total seed faults across all events.
+    pub fn total_faults(&self) -> usize {
+        self.events.iter().map(|e| e.coords.len()).sum()
+    }
+
+    /// The pattern after each event, in order: `result[i]` is `base`
+    /// extended by events `0..=i`. This is the validation fold; the driver
+    /// uses it to precompute activation patterns.
+    pub fn cumulative_patterns(
+        &self,
+        mesh: &Mesh,
+        base: &FaultPattern,
+    ) -> Result<Vec<FaultPattern>, ScheduleError> {
+        let mut cur = base.clone();
+        let mut out = Vec::with_capacity(self.events.len());
+        for e in &self.events {
+            cur = cur
+                .extend(mesh, e.coords.iter().copied())
+                .map_err(|source| ScheduleError {
+                    cycle: e.cycle,
+                    source,
+                })?;
+            out.push(cur.clone());
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn mesh() -> Mesh {
+        Mesh::square(10)
+    }
+
+    #[test]
+    fn new_sorts_and_validates() {
+        let m = mesh();
+        let base = FaultPattern::fault_free(&m);
+        let s = FaultSchedule::new(
+            &m,
+            &base,
+            vec![
+                FaultEvent {
+                    cycle: 900,
+                    coords: vec![Coord::new(2, 2)],
+                },
+                FaultEvent {
+                    cycle: 400,
+                    coords: vec![Coord::new(7, 7)],
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.events()[0].cycle, 400);
+        assert_eq!(s.events()[1].cycle, 900);
+        assert_eq!(s.total_faults(), 2);
+        let pats = s.cumulative_patterns(&m, &base).unwrap();
+        assert_eq!(pats[0].num_seed_faulty(), 1);
+        assert_eq!(pats[1].num_seed_faulty(), 2);
+    }
+
+    #[test]
+    fn disconnecting_prefix_rejected() {
+        let m = Mesh::new(3, 3);
+        let base = FaultPattern::fault_free(&m);
+        let err = FaultSchedule::new(
+            &m,
+            &base,
+            vec![FaultEvent {
+                cycle: 100,
+                coords: vec![Coord::new(0, 1), Coord::new(1, 1), Coord::new(2, 1)],
+            }],
+        )
+        .unwrap_err();
+        assert_eq!(err.cycle, 100);
+        assert_eq!(err.source, PatternError::Disconnects);
+    }
+
+    #[test]
+    fn random_schedules_are_deterministic_and_valid() {
+        let m = mesh();
+        let base = FaultPattern::fault_free(&m);
+        let gen = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            FaultSchedule::random(&m, &base, 3, 2, 1_000..5_000, &mut rng).unwrap()
+        };
+        let a = gen(7);
+        assert_eq!(a, gen(7), "same seed must give the same schedule");
+        assert_ne!(a, gen(8));
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.total_faults(), 6);
+        assert!(a.events().windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        for e in a.events() {
+            assert!((1_000..5_000).contains(&e.cycle));
+        }
+        // Every prefix acceptable by construction.
+        let pats = a.cumulative_patterns(&m, &base).unwrap();
+        assert!(pats.last().unwrap().healthy_connected(&m));
+    }
+
+    #[test]
+    fn serializes_round_trip() {
+        let m = mesh();
+        let base = FaultPattern::fault_free(&m);
+        let s = FaultSchedule::new(
+            &m,
+            &base,
+            vec![FaultEvent {
+                cycle: 123,
+                coords: vec![Coord::new(4, 4)],
+            }],
+        )
+        .unwrap();
+        let back: FaultSchedule =
+            serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for chaos-event chains: incrementally extended fault
+//! patterns and incrementally rebuilt f-rings must agree with from-scratch
+//! construction on the final state, and every prefix of a schedule must
+//! keep the healthy mesh connected (checked against an independent BFS).
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wormsim_chaos::FaultSchedule;
+use wormsim_fault::{FRingSet, FaultPattern};
+use wormsim_topology::{Coord, Mesh, NodeId, ALL_DIRECTIONS};
+
+/// Independent BFS oracle for healthy-subgraph connectivity.
+fn connected_oracle(mesh: &Mesh, pattern: &FaultPattern) -> bool {
+    let healthy: Vec<NodeId> = pattern.healthy_nodes(mesh).collect();
+    let Some(&start) = healthy.first() else {
+        return false;
+    };
+    let mut seen = std::collections::HashSet::new();
+    let mut stack = vec![start];
+    seen.insert(start);
+    while let Some(u) = stack.pop() {
+        for d in ALL_DIRECTIONS {
+            if let Some(v) = mesh.neighbor(u, d) {
+                if !pattern.is_faulty(v) && seen.insert(v) {
+                    stack.push(v);
+                }
+            }
+        }
+    }
+    seen.len() == healthy.len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn chaos_chains_agree_with_from_scratch(
+        seed in any::<u64>(),
+        base_faults in 0usize..=4,
+        num_events in 1usize..=4,
+        faults_per_event in 1usize..=2,
+    ) {
+        let mesh = Mesh::square(10);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let base = if base_faults == 0 {
+            FaultPattern::fault_free(&mesh)
+        } else {
+            match wormsim_fault::random_pattern(&mesh, base_faults, &mut rng) {
+                Ok(p) => p,
+                // Generation may exhaust its attempt budget; accepted.
+                Err(_) => return Ok(()),
+            }
+        };
+        let Ok(schedule) =
+            FaultSchedule::random(&mesh, &base, num_events, faults_per_event, 100..10_000, &mut rng)
+        else {
+            return Ok(());
+        };
+        let patterns = schedule.cumulative_patterns(&mesh, &base).unwrap();
+
+        // Fold the ring rebuild alongside the pattern chain, accumulating
+        // every seed coordinate seen so far.
+        let mut prev_pat = base.clone();
+        let mut rings = FRingSet::build(&mesh, &base);
+        let mut seeds: Vec<Coord> = mesh
+            .nodes()
+            .filter(|&n| base.is_seed_faulty(n))
+            .map(|n| mesh.coord(n))
+            .collect();
+        for (event, pat) in schedule.events().iter().zip(&patterns) {
+            rings = FRingSet::rebuild(&mesh, pat, &prev_pat, &rings);
+            seeds.extend(event.coords.iter().copied());
+            prev_pat = pat.clone();
+        }
+        let final_pat = patterns.last().unwrap();
+
+        // 1. The extend chain equals from-scratch construction over all
+        //    accumulated seeds: the coalescing fixpoint is confluent, so
+        //    the order faults arrived in must not matter.
+        let scratch = FaultPattern::from_faulty_coords(&mesh, seeds.iter().copied())
+            .expect("scratch build must accept what the chain accepted");
+        prop_assert_eq!(scratch.regions(), final_pat.regions());
+        prop_assert_eq!(scratch.num_faulty(), final_pat.num_faulty());
+        for n in mesh.nodes() {
+            prop_assert_eq!(scratch.is_faulty(n), final_pat.is_faulty(n));
+            prop_assert_eq!(scratch.is_seed_faulty(n), final_pat.is_seed_faulty(n));
+            prop_assert_eq!(scratch.region_of(n), final_pat.region_of(n));
+        }
+
+        // 2. `healthy_connected` agrees with the BFS oracle on every
+        //    prefix of the schedule (all prefixes are valid patterns).
+        for pat in &patterns {
+            prop_assert!(pat.healthy_connected(&mesh));
+            prop_assert!(connected_oracle(&mesh, pat));
+        }
+
+        // 3. Incrementally rebuilt f-rings equal rings built fresh from
+        //    the final pattern, including the node→ring membership index.
+        let fresh = FRingSet::build(&mesh, final_pat);
+        prop_assert_eq!(rings.rings().len(), fresh.rings().len());
+        for (a, b) in rings.rings().iter().zip(fresh.rings()) {
+            prop_assert_eq!(a.region(), b.region());
+            prop_assert_eq!(a.nodes(), b.nodes());
+            prop_assert_eq!(a.is_closed(), b.is_closed());
+        }
+        for n in mesh.nodes() {
+            prop_assert_eq!(rings.positions_of(n), fresh.positions_of(n));
+        }
+    }
+}

@@ -33,6 +33,17 @@ pub struct SimConfig {
     pub seed: u64,
     /// Conflict-resolution policy (paper: random).
     pub arbitration: Arbitration,
+    /// Print diagnostic details for every watchdog recovery (debug aid).
+    pub debug_watchdog: bool,
+    /// Base re-injection delay (cycles) after a chaos abort; doubles per
+    /// abort of the same message (bounded exponential backoff).
+    pub recovery_backoff_base: u64,
+    /// Maximum number of backoff doublings (caps the delay at
+    /// `base << cap`).
+    pub recovery_backoff_cap: u32,
+    /// Width (cycles) of the sliding delivered-rate window used for the
+    /// post-fault settling-time metric.
+    pub settle_window: u64,
 }
 
 impl SimConfig {
@@ -46,6 +57,10 @@ impl SimConfig {
             deadlock_timeout: 25_000,
             seed: 0x5EED,
             arbitration: Arbitration::Random,
+            debug_watchdog: false,
+            recovery_backoff_base: 16,
+            recovery_backoff_cap: 6,
+            settle_window: 500,
         }
     }
 
@@ -74,6 +89,12 @@ impl SimConfig {
         self.arbitration = arbitration;
         self
     }
+
+    /// Builder-style watchdog-diagnostics toggle.
+    pub fn with_debug_watchdog(mut self, on: bool) -> Self {
+        self.debug_watchdog = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -91,5 +112,11 @@ mod tests {
     fn seed_override() {
         let c = SimConfig::paper().with_seed(7);
         assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    fn debug_watchdog_flag() {
+        assert!(!SimConfig::paper().debug_watchdog);
+        assert!(SimConfig::paper().with_debug_watchdog(true).debug_watchdog);
     }
 }

@@ -1,0 +1,37 @@
+//! The online fault-activation hook.
+//!
+//! A [`FaultDriver`] is the engine-side seam for mid-run fault injection
+//! (`wormsim-chaos` supplies the implementation): once per cycle, before
+//! traffic generation, the simulator polls the driver; each returned
+//! [`FaultActivation`] atomically swaps the routing context and algorithm
+//! for ones built against the extended fault pattern, after which the
+//! simulator triages every message — in flight, queued, or backing off —
+//! against the set of newly faulty nodes.
+
+use std::sync::Arc;
+use wormsim_routing::{RoutingAlgorithm, RoutingContext};
+
+/// A ready-to-install routing state for an extended fault pattern: the new
+/// context (same mesh, more faults) and an algorithm instance bound to it.
+/// The algorithm must report the same `num_vcs` as the one it replaces —
+/// VC-slot ownership carries across the swap.
+pub struct FaultActivation {
+    /// Context built against the extended pattern (see
+    /// `RoutingContext::with_pattern`).
+    pub ctx: Arc<RoutingContext>,
+    /// Algorithm instance bound to `ctx`.
+    pub algo: Box<dyn RoutingAlgorithm>,
+}
+
+/// Produces fault activations as simulation time passes.
+///
+/// `poll` is called repeatedly at the top of each cycle until it returns
+/// `None`, so a driver holding several events due at the same cycle hands
+/// them over one at a time (each already folded into the next's pattern).
+/// Determinism contract: the returned sequence may depend only on `cycle`
+/// and the driver's own (seeded) state — never on wall-clock or ambient
+/// randomness — so a fixed seed plus schedule reproduces a run exactly.
+pub trait FaultDriver: Send {
+    /// The next activation due at or before `cycle`, or `None`.
+    fn poll(&mut self, cycle: u64) -> Option<FaultActivation>;
+}

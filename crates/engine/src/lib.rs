@@ -42,9 +42,11 @@
 //! ```
 
 mod config;
+mod fault_hook;
 mod message;
 mod simulator;
 
 pub use config::{Arbitration, SimConfig};
+pub use fault_hook::{FaultActivation, FaultDriver};
 pub use message::MsgId;
 pub use simulator::Simulator;

@@ -56,6 +56,12 @@ pub(crate) struct Msg {
     pub alive: bool,
     /// Times this message was dropped and re-injected by the watchdog.
     pub recoveries: u32,
+    /// Times this message was aborted by an online fault event (drives the
+    /// exponential re-injection backoff).
+    pub chaos_aborts: u32,
+    /// `(recovery event index, abort cycle)` of the most recent chaos
+    /// abort; consumed at delivery to record the recovery latency.
+    pub abort_tag: Option<(u32, u64)>,
 }
 
 impl Msg {
@@ -73,6 +79,8 @@ impl Msg {
             last_progress: created,
             alive: true,
             recoveries: 0,
+            chaos_aborts: 0,
+            abort_tag: None,
         }
     }
 
@@ -100,6 +108,8 @@ impl Msg {
         self.last_progress = created;
         self.alive = true;
         self.recoveries = 0;
+        self.chaos_aborts = 0;
+        self.abort_tag = None;
     }
 
     /// Whether the header flit is sitting in the buffer of the last held VC

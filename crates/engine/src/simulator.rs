@@ -2,13 +2,17 @@
 //! watchdog, statistics.
 
 use crate::config::SimConfig;
+use crate::fault_hook::{FaultActivation, FaultDriver};
 use crate::message::{Msg, MsgId, PathEntry};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::VecDeque;
 use std::sync::Arc;
-use wormsim_metrics::{LatencyStats, NodeLoadStats, SimReport, ThroughputStats, VcUsageStats};
+use wormsim_metrics::{
+    LatencyStats, NodeLoadStats, RecoveryStats, SimReport, ThroughputStats, VcUsageStats,
+    SETTLE_FRACTION,
+};
 use wormsim_routing::{RoutingAlgorithm, RoutingContext};
 use wormsim_topology::{ChannelId, NodeId};
 use wormsim_traffic::{DestinationSampler, Injector, Workload};
@@ -62,8 +66,23 @@ pub struct Simulator {
     /// Misroutes summed over delivered messages.
     total_misroutes: u64,
 
-    /// Print diagnostic details for every watchdog recovery (debug aid).
-    pub debug_watchdog: bool,
+    /// Online fault source, polled at the top of every cycle.
+    fault_driver: Option<Box<dyn FaultDriver>>,
+    /// Recovery statistics; `Some` once a fault driver is installed.
+    recovery: Option<RecoveryStats>,
+    /// Chaos-aborted messages waiting out their backoff:
+    /// `(ready cycle, msg id)`, insertion (= triage) order.
+    backoff: Vec<(u64, u32)>,
+    /// Fault events whose delivered rate has not yet settled:
+    /// `(event index, activation cycle, pre-fault rate)`.
+    pending_settle: Vec<(usize, u64, f64)>,
+    /// Sliding per-cycle delivered-flit counts (most recent at the back);
+    /// maintained only while a fault driver is installed.
+    delivered_window: VecDeque<u32>,
+    /// Running sum of `delivered_window`.
+    window_sum: u64,
+    /// Flits ejected this cycle (network-wide), feeding the window.
+    delivered_this_cycle: u32,
 }
 
 impl Simulator {
@@ -119,10 +138,32 @@ impl Simulator {
             recoveries: 0,
             ring_hops: 0,
             total_misroutes: 0,
-            debug_watchdog: false,
+            fault_driver: None,
+            recovery: None,
+            backoff: Vec::new(),
+            pending_settle: Vec::new(),
+            delivered_window: VecDeque::new(),
+            window_sum: 0,
+            delivered_this_cycle: 0,
             cfg,
             ctx,
         }
+    }
+
+    /// Install an online fault source. From the next [`Simulator::step`] on,
+    /// the driver is polled at the top of every cycle and its activations
+    /// are applied before traffic generation; [`RecoveryStats`] collection
+    /// starts now (the report's `recovery` field becomes `Some`).
+    pub fn install_fault_driver(&mut self, driver: Box<dyn FaultDriver>) {
+        self.fault_driver = Some(driver);
+        if self.recovery.is_none() {
+            self.recovery = Some(RecoveryStats::new(self.cfg.settle_window));
+        }
+    }
+
+    /// Recovery statistics collected so far (`None` without a fault driver).
+    pub fn recovery_stats(&self) -> Option<&RecoveryStats> {
+        self.recovery.as_ref()
     }
 
     /// The current simulation cycle.
@@ -239,14 +280,20 @@ impl Simulator {
     /// Run until all queued/active messages are delivered or `max_cycles`
     /// elapse; returns true when the network fully drained. Traffic
     /// injectors are not polled (rate 0 workloads / manual injection).
+    #[must_use = "an ignored `false` means stats describe an undrained network"]
     pub fn run_until_drained(&mut self, max_cycles: u64) -> bool {
         for _ in 0..max_cycles {
-            if self.active.is_empty() && self.queued() == 0 {
+            if self.drained() {
                 return true;
             }
             self.step();
         }
-        self.active.is_empty() && self.queued() == 0
+        self.drained()
+    }
+
+    /// No message active, queued, or waiting out a post-abort backoff.
+    fn drained(&self) -> bool {
+        self.active.is_empty() && self.queued() == 0 && self.backoff.is_empty()
     }
 
     /// Build the report for everything measured so far.
@@ -287,6 +334,7 @@ impl Simulator {
             total_misroutes: self.total_misroutes,
             in_flight_at_end: self.active.len() as u64,
             ring_load,
+            recovery: self.recovery.clone(),
         }
     }
 
@@ -302,6 +350,9 @@ impl Simulator {
     ///    delivered flits = message length.
     /// 4. Injection bookkeeping: a message with flits still at the source
     ///    and a non-empty path owns its node's injection port.
+    /// 5. Chaos bookkeeping: a message waiting out a backoff holds no VC
+    ///    and has every flit back at its (healthy) source; no owned VC
+    ///    slot touches a faulty node — aborts must not leak freed VCs.
     pub fn check_invariants(&self) {
         let depth = self.cfg.buffer_depth as u32;
         // 1. Ownership bijection.
@@ -370,15 +421,68 @@ impl Simulator {
             }
         }
         assert_eq!(seen, owned.len(), "orphaned VC slot ownership");
+        // 5. Chaos bookkeeping.
+        let pattern = self.ctx.pattern();
+        let mesh = self.ctx.mesh();
+        for &(_, id) in &self.backoff {
+            let m = &self.msgs[id as usize];
+            assert!(m.alive, "dead message in backoff");
+            assert!(m.path.is_empty(), "backoff message still holds VCs");
+            assert_eq!(
+                m.at_source, m.length,
+                "backoff message left flits in the network"
+            );
+            assert!(
+                !pattern.is_faulty(m.src),
+                "backoff message at a dead source"
+            );
+            assert!(!self.active.contains(&id), "backoff message still active");
+        }
+        for (k, owner) in self.slots.iter().enumerate() {
+            if owner.is_some() {
+                let ch = self.key_channel(k as u32);
+                assert!(
+                    !pattern.is_faulty(mesh.channel_src(ch)),
+                    "owned VC slot on a channel leaving a faulty node"
+                );
+                let dest = mesh.channel_dest(ch).expect("owned channel exists");
+                assert!(
+                    !pattern.is_faulty(dest),
+                    "owned VC slot on a channel entering a faulty node"
+                );
+            }
+        }
     }
 
     /// Advance the simulation by one cycle.
     pub fn step(&mut self) {
         let measuring = self.measuring();
 
+        // 0. Online fault activation (before traffic so this cycle already
+        // generates/routes against the new pattern).
+        if self.fault_driver.is_some() {
+            self.poll_fault_driver();
+        }
+
         // 1. Stochastic message generation (open-loop Poisson sources).
         if self.workload.rate > 0.0 {
             self.generate_traffic(measuring);
+        }
+
+        // 1b. Re-enqueue chaos-aborted messages whose backoff expired; they
+        // compete for the injection port like freshly generated traffic.
+        if !self.backoff.is_empty() {
+            let cycle = self.cycle;
+            let queues = &mut self.queues;
+            let msgs = &self.msgs;
+            self.backoff.retain(|&(ready, id)| {
+                if ready <= cycle {
+                    queues[msgs[id as usize].src.index()].push_back(id);
+                    false
+                } else {
+                    true
+                }
+            });
         }
 
         // 2. Promote queued messages onto free injection ports.
@@ -442,7 +546,61 @@ impl Simulator {
         let msgs = &self.msgs;
         self.active.retain(|&id| msgs[id as usize].alive);
 
+        // 8. Delivered-rate window + settling detection (chaos runs only).
+        if self.recovery.is_some() {
+            self.update_delivery_window();
+        }
+        self.delivered_this_cycle = 0;
+
         self.cycle += 1;
+    }
+
+    /// Push this cycle's delivered-flit count into the sliding window and
+    /// check pending fault events for settling: an event settles at the
+    /// first cycle where the window (a) holds only post-fault cycles and
+    /// (b) averages at least [`SETTLE_FRACTION`] of the pre-fault rate.
+    fn update_delivery_window(&mut self) {
+        self.delivered_window.push_back(self.delivered_this_cycle);
+        self.window_sum += self.delivered_this_cycle as u64;
+        if self.delivered_window.len() as u64 > self.cfg.settle_window {
+            let oldest = self
+                .delivered_window
+                .pop_front()
+                .expect("window is non-empty");
+            self.window_sum -= oldest as u64;
+        }
+        if self.pending_settle.is_empty() {
+            return;
+        }
+        let rate = self.window_rate();
+        let window = self.cfg.settle_window;
+        let now = self.cycle;
+        let rec = self
+            .recovery
+            .as_mut()
+            .expect("settling tracked only with recovery stats");
+        self.pending_settle.retain(|&(ev, at, pre)| {
+            // Elapsed counts the activation cycle itself (the window is
+            // updated before `cycle` increments).
+            let elapsed = now + 1 - at;
+            if elapsed < window {
+                return true; // window still mixes pre-fault cycles
+            }
+            if rate >= SETTLE_FRACTION * pre {
+                rec.set_settled(ev, elapsed);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Mean delivered flits/cycle over the current window.
+    fn window_rate(&self) -> f64 {
+        if self.delivered_window.is_empty() {
+            return 0.0;
+        }
+        self.window_sum as f64 / self.delivered_window.len() as f64
     }
 
     fn generate_traffic(&mut self, measuring: bool) {
@@ -572,6 +730,7 @@ impl Simulator {
             self.eject_used[head_node.index()] = true;
             path[head_idx].occ -= 1;
             m.delivered += 1;
+            self.delivered_this_cycle += 1;
             progressed = true;
         }
 
@@ -643,6 +802,11 @@ impl Simulator {
             m.path.clear();
             m.alive = false;
             self.total_misroutes += m.state.misroutes as u64;
+            if let Some((ev, aborted_at)) = m.abort_tag.take() {
+                if let Some(rec) = self.recovery.as_mut() {
+                    rec.record_recovered(ev as usize, self.cycle + 1 - aborted_at);
+                }
+            }
             let latency = self.cycle + 1 - m.created;
             let network_latency = self.cycle + 1
                 - m.first_injected
@@ -657,11 +821,237 @@ impl Simulator {
         }
     }
 
+    /// Drain every activation the installed fault driver has due.
+    fn poll_fault_driver(&mut self) {
+        let mut driver = self
+            .fault_driver
+            .take()
+            .expect("caller checked driver presence");
+        while let Some(act) = driver.poll(self.cycle) {
+            self.apply_activation(act);
+        }
+        self.fault_driver = Some(driver);
+    }
+
+    /// Swap in routing state for an extended fault pattern and triage all
+    /// traffic against the newly faulty nodes (the chaos recovery
+    /// protocol):
+    ///
+    /// - an endpoint the message still needs died → permanently lost;
+    /// - its path crosses a new fault → aborted: held VCs released, flits
+    ///   reset to the source, re-routed against the new pattern, and
+    ///   re-injection scheduled with bounded exponential backoff;
+    /// - queued at a healthy source → route state re-sampled (requeued);
+    /// - otherwise untouched, except that ring state is cleared (region
+    ///   ids changed with the pattern).
+    fn apply_activation(&mut self, act: FaultActivation) {
+        let FaultActivation { ctx: new_ctx, algo } = act;
+        assert_eq!(
+            (new_ctx.mesh().width(), new_ctx.mesh().height()),
+            (self.ctx.mesh().width(), self.ctx.mesh().height()),
+            "fault activation built for a different mesh"
+        );
+        assert_eq!(
+            algo.num_vcs(),
+            self.num_vcs,
+            "fault activation changes the VC count"
+        );
+        let old_ctx = std::mem::replace(&mut self.ctx, new_ctx);
+        self.algo = algo;
+        let mesh = self.ctx.mesh().clone();
+
+        // Newly unusable nodes (seeds plus nodes swallowed by the convex
+        // closure, possibly merged into pre-existing regions).
+        let newly: Vec<bool> = mesh
+            .nodes()
+            .map(|n| self.ctx.pattern().is_faulty(n) && !old_ctx.pattern().is_faulty(n))
+            .collect();
+        let newly_count = newly.iter().filter(|&&b| b).count();
+
+        let pre_rate = self.window_rate();
+        let ev = self
+            .recovery
+            .as_mut()
+            .expect("recovery stats exist while a driver is installed")
+            .begin_event(self.cycle, newly_count, pre_rate);
+        self.pending_settle.push((ev, self.cycle, pre_rate));
+
+        // Dead nodes stop generating; destination sampling moves to the
+        // new healthy set. Throughput keeps normalizing by the initial
+        // healthy count so pre/post-fault rates stay comparable.
+        for (idx, dead) in newly.iter().enumerate() {
+            if *dead {
+                self.injectors[idx] = Injector::new(0.0);
+            }
+        }
+        let healthy: Vec<NodeId> = self.ctx.pattern().healthy_nodes(&mesh).collect();
+        self.sampler = DestinationSampler::new(self.workload.pattern, &mesh, healthy);
+
+        // In-flight triage, in `active` order (deterministic).
+        let snapshot: Vec<u32> = self.active.clone();
+        for &id in &snapshot {
+            let m = &self.msgs[id as usize];
+            if !m.alive {
+                continue;
+            }
+            let src_dead = newly[m.src.index()];
+            let dest_dead = newly[m.dest.index()];
+            let crosses = m
+                .path
+                .iter()
+                .any(|e| newly[e.dest.index()] || newly[mesh.channel_src(ChannelId(e.ch)).index()]);
+            if dest_dead || (src_dead && (m.at_source > 0 || crosses)) {
+                // Destination gone, or flits stranded at / re-injection
+                // required from a dead source.
+                self.kill_active(id);
+                self.recovery.as_mut().expect("stats exist").record_lost(ev);
+            } else if crosses {
+                self.abort_for_fault(id, ev);
+            } else {
+                // Survivor: its ring state references the old pattern's
+                // region ids, which the swap invalidated.
+                self.msgs[id as usize].state.ring = None;
+            }
+        }
+
+        // Queued triage, node order then queue order (deterministic).
+        for node in 0..self.queues.len() {
+            if self.queues[node].is_empty() {
+                continue;
+            }
+            let q = std::mem::take(&mut self.queues[node]);
+            if newly[node] {
+                // The source died with its whole queue.
+                for id in q {
+                    self.msgs[id as usize].alive = false;
+                    self.free_list.push(id);
+                    self.recovery.as_mut().expect("stats exist").record_lost(ev);
+                }
+                continue;
+            }
+            let mut kept = VecDeque::with_capacity(q.len());
+            for id in q {
+                let (src, dest) = {
+                    let m = &self.msgs[id as usize];
+                    (m.src, m.dest)
+                };
+                if newly[dest.index()] {
+                    self.msgs[id as usize].alive = false;
+                    self.free_list.push(id);
+                    self.recovery.as_mut().expect("stats exist").record_lost(ev);
+                } else {
+                    // Route re-sampled against the updated pattern.
+                    let state = self.algo.init_message(src, dest);
+                    self.msgs[id as usize].state = state;
+                    self.recovery
+                        .as_mut()
+                        .expect("stats exist")
+                        .record_requeued(ev);
+                    kept.push_back(id);
+                }
+            }
+            self.queues[node] = kept;
+        }
+
+        // Backoff triage: a waiting message whose endpoint died is lost.
+        let backoff = std::mem::take(&mut self.backoff);
+        for (ready, id) in backoff {
+            let (src, dest) = {
+                let m = &self.msgs[id as usize];
+                (m.src, m.dest)
+            };
+            if newly[src.index()] || newly[dest.index()] {
+                self.msgs[id as usize].alive = false;
+                self.msgs[id as usize].abort_tag = None;
+                self.free_list.push(id);
+                self.recovery.as_mut().expect("stats exist").record_lost(ev);
+            } else {
+                self.backoff.push((ready, id));
+            }
+        }
+
+        // Prune `active` now: killed ids' slab slots are already on the
+        // free list and may be re-allocated by this very cycle's traffic
+        // generation, and aborted ids re-enter via the source queue — a
+        // stale entry would double-route them.
+        let in_backoff: std::collections::HashSet<u32> =
+            self.backoff.iter().map(|&(_, id)| id).collect();
+        let msgs = &self.msgs;
+        self.active
+            .retain(|&id| msgs[id as usize].alive && !in_backoff.contains(&id));
+    }
+
+    /// Remove an active message from the network for good: release held
+    /// VCs, free the injection port, recycle the slab slot. The caller
+    /// prunes `active` (activation triage immediately, the watchdog via
+    /// the end-of-step retain).
+    fn kill_active(&mut self, id: u32) {
+        let m = &mut self.msgs[id as usize];
+        for e in &m.path {
+            self.slots[e.key as usize] = None;
+            self.vc_usage.release(e.vc);
+        }
+        m.path.clear();
+        m.alive = false;
+        m.abort_tag = None;
+        let src = m.src;
+        if self.injecting[src.index()] == Some(id) {
+            self.injecting[src.index()] = None;
+        }
+        self.free_list.push(id);
+    }
+
+    /// Chaos abort: drop the message's flits back to its source, release
+    /// every held VC, re-route it against the new pattern, and schedule
+    /// re-injection after `backoff_base << min(aborts-1, backoff_cap)`
+    /// cycles.
+    fn abort_for_fault(&mut self, id: u32, ev: usize) {
+        let (src, dest) = {
+            let m = &mut self.msgs[id as usize];
+            for e in &m.path {
+                self.slots[e.key as usize] = None;
+                self.vc_usage.release(e.vc);
+            }
+            m.path.clear();
+            m.at_source = m.length;
+            m.delivered = 0;
+            m.first_injected = None;
+            m.last_progress = self.cycle;
+            m.chaos_aborts += 1;
+            m.abort_tag = Some((ev as u32, self.cycle));
+            (m.src, m.dest)
+        };
+        if self.injecting[src.index()] == Some(id) {
+            self.injecting[src.index()] = None;
+        }
+        let state = self.algo.init_message(src, dest);
+        let m = &mut self.msgs[id as usize];
+        m.state = state;
+        let exp = (m.chaos_aborts - 1).min(self.cfg.recovery_backoff_cap);
+        let delay = self.cfg.recovery_backoff_base << exp;
+        self.backoff.push((self.cycle + delay, id));
+        self.recovery
+            .as_mut()
+            .expect("stats exist")
+            .record_abort(ev);
+    }
+
     /// Watchdog recovery: drop the message's flits, free its VCs, and
     /// re-inject it from its source with fresh routing state.
     fn recover(&mut self, id: u32) {
+        // A survivor of an online fault event whose source has since died
+        // cannot be re-injected: drop it for good.
+        if self.ctx.pattern().is_faulty(self.msgs[id as usize].src) {
+            self.kill_active(id);
+            if let Some(rec) = self.recovery.as_mut() {
+                if rec.num_events() > 0 {
+                    rec.record_lost(rec.num_events() - 1);
+                }
+            }
+            return;
+        }
         self.recoveries += 1;
-        if self.debug_watchdog {
+        if self.cfg.debug_watchdog {
             let m = &self.msgs[id as usize];
             let mesh = self.ctx.mesh();
             let head = self.head_node(m);
@@ -940,13 +1330,13 @@ mod tests {
         let mesh = Mesh::square(10);
         let mut sim = make_sim(AlgorithmKind::Duato, fault_free(), 0.0, SimConfig::quick());
         sim.inject_message(mesh.node(0, 0), mesh.node(1, 0));
-        sim.run_until_drained(100);
+        assert!(sim.run_until_drained(100));
         assert!(sim.report().ring_load.is_none());
 
         let pattern = FaultPattern::from_faulty_coords(&mesh, [Coord::new(5, 5)]).unwrap();
         let mut sim = make_sim(AlgorithmKind::Duato, pattern, 0.0, SimConfig::quick());
         sim.inject_message(mesh.node(0, 0), mesh.node(1, 0));
-        sim.run_until_drained(100);
+        assert!(sim.run_until_drained(100));
         assert!(sim.report().ring_load.is_some());
     }
 
@@ -994,7 +1384,7 @@ mod tests {
         let mesh = Mesh::square(10);
         let mut sim = make_sim(AlgorithmKind::NHop, fault_free(), 0.0, SimConfig::quick());
         sim.inject_message(mesh.node(0, 5), mesh.node(9, 5));
-        sim.run_until_drained(500);
+        assert!(sim.run_until_drained(500));
         assert_eq!(sim.report().ring_hops, 0);
 
         let pattern =
@@ -1002,7 +1392,7 @@ mod tests {
                 .unwrap();
         let mut sim = make_sim(AlgorithmKind::NHop, pattern, 0.0, SimConfig::quick());
         sim.inject_message(mesh.node(3, 5), mesh.node(8, 5));
-        sim.run_until_drained(1_000);
+        assert!(sim.run_until_drained(1_000));
         assert!(sim.report().ring_hops > 0, "detour must use overlay VCs");
     }
 
@@ -1021,6 +1411,169 @@ mod tests {
         let _ = r.total_misroutes;
         let mut sim = make_sim(AlgorithmKind::MinimalAdaptive, fault_free(), 0.01, cfg);
         assert_eq!(sim.run().total_misroutes, 0);
+    }
+
+    /// Test fault driver: hands out pre-built activations at their cycles.
+    struct ScriptedDriver {
+        events: VecDeque<(u64, FaultActivation)>,
+    }
+
+    impl crate::fault_hook::FaultDriver for ScriptedDriver {
+        fn poll(&mut self, cycle: u64) -> Option<FaultActivation> {
+            if self.events.front().is_some_and(|(due, _)| *due <= cycle) {
+                Some(self.events.pop_front().expect("front exists").1)
+            } else {
+                None
+            }
+        }
+    }
+
+    fn activation(
+        base: &Arc<RoutingContext>,
+        kind: AlgorithmKind,
+        coords: &[Coord],
+    ) -> FaultActivation {
+        let pattern = base
+            .pattern()
+            .extend(base.mesh(), coords.iter().copied())
+            .expect("extension acceptable");
+        let ctx = Arc::new(base.with_pattern(pattern));
+        let algo = build_algorithm(kind, ctx.clone(), VcConfig::paper());
+        FaultActivation { ctx, algo }
+    }
+
+    fn install_events(sim: &mut Simulator, events: Vec<(u64, FaultActivation)>) {
+        sim.install_fault_driver(Box::new(ScriptedDriver {
+            events: events.into(),
+        }));
+    }
+
+    #[test]
+    fn chaos_abort_releases_vcs_and_redelivers() {
+        let mesh = Mesh::square(10);
+        let kind = AlgorithmKind::Duato;
+        let mut sim = make_sim(kind, fault_free(), 0.0, SimConfig::quick());
+        let base = sim.ctx.clone();
+        // Kill (5,5) while the worm (0,5)→(9,5) is stretched across it.
+        install_events(
+            &mut sim,
+            vec![(8, activation(&base, kind, &[Coord::new(5, 5)]))],
+        );
+        let id = sim.inject_message(mesh.node(0, 5), mesh.node(9, 5));
+        for _ in 0..600 {
+            sim.step();
+            sim.check_invariants();
+        }
+        assert!(sim.is_delivered(id), "aborted message never redelivered");
+        let rec = sim.recovery_stats().expect("driver installed");
+        assert_eq!(rec.num_events(), 1);
+        assert_eq!(rec.total_aborted(), 1);
+        assert_eq!(rec.total_recovered(), 1);
+        assert_eq!(rec.total_lost(), 0);
+        assert_eq!(rec.events()[0].newly_faulty, 1);
+        let mean = rec.mean_recovery_latency().expect("one recovery");
+        // Backoff (16) + re-route around the block (≥ 9 hops + 20 flits).
+        assert!(mean >= 16.0 + 29.0, "implausibly fast recovery: {mean}");
+        // Every VC freed by the abort must be free or legitimately reowned.
+        assert_eq!(sim.in_flight(), 0);
+        assert!(sim.slots.iter().all(|s| s.is_none()));
+    }
+
+    #[test]
+    fn chaos_kills_message_when_destination_dies() {
+        let mesh = Mesh::square(10);
+        let kind = AlgorithmKind::NHop;
+        let mut sim = make_sim(kind, fault_free(), 0.0, SimConfig::quick());
+        let base = sim.ctx.clone();
+        install_events(
+            &mut sim,
+            vec![(5, activation(&base, kind, &[Coord::new(5, 5)]))],
+        );
+        let id = sim.inject_message(mesh.node(0, 0), mesh.node(5, 5));
+        for _ in 0..200 {
+            sim.step();
+            sim.check_invariants();
+        }
+        assert!(sim.is_delivered(id), "lost message still marked alive");
+        let rec = sim.recovery_stats().expect("driver installed");
+        assert_eq!(rec.total_lost(), 1);
+        assert_eq!(rec.total_aborted(), 0);
+        assert_eq!(sim.in_flight(), 0);
+        assert_eq!(sim.queued(), 0);
+    }
+
+    #[test]
+    fn chaos_invariants_settling_and_requeues_under_load() {
+        let kind = AlgorithmKind::MinimalAdaptive;
+        let cfg = SimConfig {
+            warmup_cycles: 0,
+            measure_cycles: 4_000,
+            ..SimConfig::paper()
+        };
+        let mut sim = make_sim(kind, fault_free(), 0.006, cfg);
+        let base = sim.ctx.clone();
+        install_events(
+            &mut sim,
+            vec![(
+                1_000,
+                activation(&base, kind, &[Coord::new(4, 4), Coord::new(5, 5)]),
+            )],
+        );
+        for _ in 0..4_000 {
+            sim.step();
+            sim.check_invariants();
+        }
+        let rec = sim.recovery_stats().expect("driver installed");
+        assert_eq!(rec.num_events(), 1);
+        let e = &rec.events()[0];
+        assert_eq!(e.newly_faulty, 4, "diagonal pair coalesces to 2x2");
+        assert!(e.pre_fault_rate > 0.0);
+        assert!(
+            e.aborted + e.requeued + e.lost > 0,
+            "a mid-run fault under load must disturb some traffic"
+        );
+        let settle = e.settle_cycles.expect("light load must re-settle");
+        assert!(
+            settle >= cfg.settle_window,
+            "settling can only be declared once the window holds post-fault cycles only"
+        );
+        // Traffic kept flowing after the event.
+        assert!(sim.delivered() > 0);
+    }
+
+    #[test]
+    fn chaos_runs_are_byte_identical_for_a_seed() {
+        let kind = AlgorithmKind::DuatoNbc;
+        let cfg = SimConfig {
+            warmup_cycles: 300,
+            measure_cycles: 2_000,
+            ..SimConfig::paper()
+        };
+        let run = || {
+            let mut sim = make_sim(kind, fault_free(), 0.005, cfg);
+            let base = sim.ctx.clone();
+            install_events(
+                &mut sim,
+                vec![
+                    (800, activation(&base, kind, &[Coord::new(5, 5)])),
+                    (1_500, {
+                        let p1 = base
+                            .pattern()
+                            .extend(base.mesh(), [Coord::new(5, 5)])
+                            .expect("first event acceptable");
+                        let ctx1 = Arc::new(base.with_pattern(p1));
+                        activation(&ctx1, kind, &[Coord::new(2, 7)])
+                    }),
+                ],
+            );
+            serde_json::to_string(&sim.run()).expect("report serializes")
+        };
+        let a = run();
+        assert_eq!(a, run(), "same seed + schedule must be byte-identical");
+        assert!(
+            a.contains("\"recovery\""),
+            "report must carry RecoveryStats"
+        );
     }
 
     #[test]

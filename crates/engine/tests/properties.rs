@@ -59,6 +59,7 @@ proptest! {
             } else {
                 Arbitration::Random
             },
+            ..SimConfig::paper()
         };
         let mut wl = Workload::paper_uniform(rate_millis as f64 / 1000.0);
         wl.message_length = length;

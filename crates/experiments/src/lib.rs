@@ -19,6 +19,7 @@
 
 mod ablations;
 mod config;
+mod dynamic;
 mod figures;
 mod runner;
 mod table;
@@ -28,6 +29,7 @@ pub use ablations::{
     ablation_misroute_limit, ablation_traffic_patterns, ablation_turn_models, ablation_vc_budget,
 };
 pub use config::{ExperimentConfig, Scale};
+pub use dynamic::{dynamic_faults, DYNAMIC_KINDS, DYNAMIC_RATE};
 pub use figures::{
     fig1_saturation_throughput, fig2_latency_vs_rate, fig3_vc_utilization,
     fig4_throughput_vs_faults, fig5_latency_vs_faults, fig6_fring_traffic, paper_52_layout,

@@ -184,6 +184,65 @@ impl FaultPattern {
         self.regions.is_empty()
     }
 
+    /// Extend this pattern with additional seed failures appearing at
+    /// runtime (the online fault model of `wormsim-chaos`).
+    ///
+    /// Incremental coalescing: instead of re-clustering every seed from
+    /// scratch, the merge fixpoint starts from the existing (already
+    /// coalesced) regions plus one point rectangle per new fault —
+    /// O(regions + new faults) rectangles rather than O(total seeds).
+    /// Because block coalescing is confluent (the fixpoint of
+    /// "merge touching rectangles into their union" does not depend on the
+    /// starting partition), the result is identical to rebuilding from the
+    /// union of all seeds — a property the chaos crate's proptest suite
+    /// checks against the from-scratch constructor.
+    ///
+    /// The same acceptability rules apply as at construction: the extended
+    /// pattern is rejected if it disconnects the healthy mesh or leaves no
+    /// healthy node. `self` is untouched on rejection, so a caller can
+    /// drop an unacceptable event and keep running.
+    pub fn extend(
+        &self,
+        mesh: &Mesh,
+        new_faults: impl IntoIterator<Item = Coord>,
+    ) -> Result<Self, PatternError> {
+        debug_assert_eq!((mesh.width(), mesh.height()), (self.width, self.height));
+        let mut seed = self.seed_faulty.clone();
+        let mut boxes = self.regions.clone();
+        for c in new_faults {
+            let n = mesh.try_node_at(c).ok_or(PatternError::OutOfBounds(c))?;
+            if !seed[n.index()] {
+                seed[n.index()] = true;
+                boxes.push(Rect::point(c));
+            }
+        }
+        let regions = merge_to_fixpoint(boxes);
+        let mut faulty = seed.clone();
+        let mut region_of = vec![usize::MAX; mesh.num_nodes()];
+        for (i, r) in regions.iter().enumerate() {
+            for c in r.coords() {
+                let n = mesh.node_at(c);
+                faulty[n.index()] = true;
+                region_of[n.index()] = i;
+            }
+        }
+        let pattern = FaultPattern {
+            width: self.width,
+            height: self.height,
+            faulty,
+            seed_faulty: seed,
+            regions,
+            region_of,
+        };
+        if pattern.num_healthy() == 0 {
+            return Err(PatternError::AllFaulty);
+        }
+        if !pattern.healthy_connected(mesh) {
+            return Err(PatternError::Disconnects);
+        }
+        Ok(pattern)
+    }
+
     /// BFS connectivity check over healthy nodes (paper §2.2: a pattern is
     /// acceptable only if every healthy pair remains connected).
     pub fn healthy_connected(&self, mesh: &Mesh) -> bool {
@@ -216,11 +275,19 @@ impl FaultPattern {
 /// 3. merge any two boxes that *touch* (Chebyshev distance ≤ 1 — their
 ///    f-rings would otherwise contain faulty nodes), and repeat to fixpoint.
 fn coalesce_blocks(mesh: &Mesh, seed: &[bool]) -> Vec<Rect> {
-    let mut boxes: Vec<Rect> = mesh
+    let boxes: Vec<Rect> = mesh
         .nodes()
         .filter(|n| seed[n.index()])
         .map(|n| Rect::point(mesh.coord(n)))
         .collect();
+    merge_to_fixpoint(boxes)
+}
+
+/// Merge any two rectangles that touch (Chebyshev distance ≤ 1) into their
+/// union, repeated to fixpoint, sorted by `(min.y, min.x)`. The fixpoint is
+/// independent of the starting partition of the covered area, which is what
+/// lets [`FaultPattern::extend`] start from already-coalesced regions.
+fn merge_to_fixpoint(mut boxes: Vec<Rect>) -> Vec<Rect> {
     loop {
         let mut merged_any = false;
         let mut out: Vec<Rect> = Vec::with_capacity(boxes.len());
@@ -521,6 +588,57 @@ mod tests {
         assert_eq!(p.regions().len(), 3);
         assert_eq!(p.num_faulty(), 8);
         assert!(p.healthy_connected(&m));
+    }
+
+    #[test]
+    fn extend_merges_with_existing_region() {
+        let m = mesh();
+        let base = FaultPattern::from_faulty_coords(&m, [Coord::new(5, 5)]).unwrap();
+        let ext = base.extend(&m, [Coord::new(6, 6)]).unwrap();
+        // Diagonal neighbor touches the existing block: one 2x2 region.
+        assert_eq!(ext.regions().len(), 1);
+        assert_eq!(
+            ext.regions()[0],
+            Rect::new(Coord::new(5, 5), Coord::new(6, 6))
+        );
+        // Identical to the from-scratch construction over all seeds.
+        let fresh =
+            FaultPattern::from_faulty_coords(&m, [Coord::new(5, 5), Coord::new(6, 6)]).unwrap();
+        assert_eq!(ext.regions(), fresh.regions());
+        assert_eq!(ext.num_faulty(), fresh.num_faulty());
+        assert_eq!(ext.num_seed_faulty(), fresh.num_seed_faulty());
+    }
+
+    #[test]
+    fn extend_far_fault_adds_new_region() {
+        let m = mesh();
+        let base = FaultPattern::from_faulty_coords(&m, [Coord::new(5, 5)]).unwrap();
+        let ext = base.extend(&m, [Coord::new(1, 1)]).unwrap();
+        assert_eq!(ext.regions().len(), 2);
+        // Regions stay sorted by (min.y, min.x).
+        assert_eq!(ext.regions()[0], Rect::point(Coord::new(1, 1)));
+        assert_eq!(ext.regions()[1], Rect::point(Coord::new(5, 5)));
+    }
+
+    #[test]
+    fn extend_rejects_disconnecting_event_without_mutating_base() {
+        let m = Mesh::new(3, 3);
+        let base = FaultPattern::from_faulty_coords(&m, [Coord::new(0, 1)]).unwrap();
+        let err = base
+            .extend(&m, [Coord::new(1, 1), Coord::new(2, 1)])
+            .unwrap_err();
+        assert_eq!(err, PatternError::Disconnects);
+        assert_eq!(base.num_seed_faulty(), 1);
+        assert_eq!(base.regions().len(), 1);
+    }
+
+    #[test]
+    fn extend_with_already_faulty_coord_is_identity() {
+        let m = mesh();
+        let base = FaultPattern::from_faulty_coords(&m, [Coord::new(5, 5)]).unwrap();
+        let ext = base.extend(&m, [Coord::new(5, 5)]).unwrap();
+        assert_eq!(ext.regions(), base.regions());
+        assert_eq!(ext.num_seed_faulty(), base.num_seed_faulty());
     }
 
     #[test]

@@ -161,6 +161,47 @@ impl FRingSet {
         FRingSet { rings, membership }
     }
 
+    /// Rebuild the ring set after an online pattern change (see
+    /// [`FaultPattern::extend`]), reusing the node walk of every region whose
+    /// rectangle is unchanged from `prev_pattern`.
+    ///
+    /// Reuse is sound because a ring node sits at Chebyshev distance 1 from
+    /// its rectangle: any new fault landing on it would *touch* the
+    /// rectangle and therefore merge into it, changing the rect — so an
+    /// unchanged rect implies an unchanged, still-healthy ring. Region ids
+    /// are re-assigned (regions are kept sorted), so reused rings get the
+    /// new index; the membership index is regenerated in full (cheap, one
+    /// pass over ring nodes). The result is identical to
+    /// [`FRingSet::build`] on the new pattern — checked by the chaos
+    /// crate's property tests.
+    pub fn rebuild(
+        mesh: &Mesh,
+        pattern: &FaultPattern,
+        prev_pattern: &FaultPattern,
+        prev: &FRingSet,
+    ) -> Self {
+        let mut rings = Vec::with_capacity(pattern.regions().len());
+        let mut membership = vec![Vec::new(); mesh.num_nodes()];
+        for (region, rect) in pattern.regions().iter().enumerate() {
+            let ring = match prev_pattern.regions().iter().position(|r| r == rect) {
+                Some(j) => FRing {
+                    region,
+                    nodes: prev.rings[j].nodes.clone(),
+                    closed: prev.rings[j].closed,
+                },
+                None => build_ring(mesh, pattern, region, rect),
+            };
+            for (i, &n) in ring.nodes.iter().enumerate() {
+                membership[n.index()].push(RingPosition {
+                    ring: region,
+                    pos: i as u16,
+                });
+            }
+            rings.push(ring);
+        }
+        FRingSet { rings, membership }
+    }
+
     /// The ring around region `r`.
     pub fn ring(&self, r: RegionId) -> &FRing {
         &self.rings[r]
@@ -447,6 +488,30 @@ mod tests {
         assert_eq!(r.distance(0, 3, Orientation::Clockwise), Some(3));
         assert_eq!(r.distance(0, 3, Orientation::Counterclockwise), Some(5));
         assert_eq!(r.distance(3, 3, Orientation::Clockwise), Some(0));
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_build_after_extend() {
+        let m = mesh();
+        let base =
+            FaultPattern::from_faulty_coords(&m, [Coord::new(2, 7), Coord::new(6, 2)]).unwrap();
+        let base_rings = FRingSet::build(&m, &base);
+        // A far fault leaves both regions' rects unchanged; a touching fault
+        // merges into one of them.
+        for event in [[Coord::new(8, 8)], [Coord::new(7, 2)]] {
+            let ext = base.extend(&m, event).unwrap();
+            let rebuilt = FRingSet::rebuild(&m, &ext, &base, &base_rings);
+            let fresh = FRingSet::build(&m, &ext);
+            assert_eq!(rebuilt.rings().len(), fresh.rings().len());
+            for (a, b) in rebuilt.rings().iter().zip(fresh.rings()) {
+                assert_eq!(a.region(), b.region());
+                assert_eq!(a.nodes(), b.nodes());
+                assert_eq!(a.is_closed(), b.is_closed());
+            }
+            for n in m.nodes() {
+                assert_eq!(rebuilt.positions_of(n), fresh.positions_of(n));
+            }
+        }
     }
 
     #[test]

@@ -7,12 +7,14 @@
 
 mod latency;
 mod node_load;
+mod recovery;
 mod report;
 mod throughput;
 mod vc_usage;
 
 pub use latency::LatencyStats;
 pub use node_load::{NodeLoadStats, RingLoadSummary};
+pub use recovery::{RecoveryEvent, RecoveryStats, SETTLE_FRACTION};
 pub use report::SimReport;
 pub use throughput::ThroughputStats;
 pub use vc_usage::VcUsageStats;

@@ -1,0 +1,229 @@
+//! Online fault-recovery statistics (the `wormsim-chaos` measures).
+//!
+//! One [`RecoveryEvent`] is recorded per fault activation: how many nodes
+//! turned faulty, what happened to the traffic in flight (aborted and
+//! re-injected, requeued with a re-sampled route, or permanently lost
+//! because an endpoint died), the recovery latency of each aborted message
+//! (abort cycle → tail delivery after re-injection), and the post-fault
+//! *settling time* — how many cycles the delivered-flit rate needed to
+//! climb back within 5 % of the pre-fault steady state.
+
+use serde::{Deserialize, Serialize};
+
+/// Fraction of the pre-fault delivered rate the post-fault rate must reach
+/// for the network to count as settled (ISSUE 2: "within 5 %").
+pub const SETTLE_FRACTION: f64 = 0.95;
+
+/// What one online fault activation did to the network.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryEvent {
+    /// Cycle the fault activated.
+    pub cycle: u64,
+    /// Nodes that turned unusable with this event (seed + newly disabled).
+    pub newly_faulty: usize,
+    /// In-flight messages aborted (VCs released, re-injected with backoff).
+    pub aborted: u64,
+    /// Queued messages whose route was re-sampled against the new pattern.
+    pub requeued: u64,
+    /// Messages permanently lost (source or destination died).
+    pub lost: u64,
+    /// Aborted messages that have since been delivered.
+    pub recovered: u64,
+    /// Sum of recovery latencies (abort cycle → tail delivery) over
+    /// `recovered` messages.
+    pub recovery_latency_total: u64,
+    /// Delivered flits/cycle averaged over the window ending at `cycle`.
+    pub pre_fault_rate: f64,
+    /// Cycles from `cycle` until the windowed delivered rate first returned
+    /// to within 5 % of `pre_fault_rate`. `None` = never settled in-run.
+    pub settle_cycles: Option<u64>,
+}
+
+impl RecoveryEvent {
+    /// Mean recovery latency of this event's recovered messages.
+    pub fn mean_recovery_latency(&self) -> Option<f64> {
+        (self.recovered > 0).then(|| self.recovery_latency_total as f64 / self.recovered as f64)
+    }
+}
+
+/// All recovery events of one run, in activation order.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    events: Vec<RecoveryEvent>,
+    /// Width (cycles) of the sliding delivered-rate window used for
+    /// `pre_fault_rate` and settling detection.
+    window: u64,
+}
+
+impl RecoveryStats {
+    /// Empty stats with the given rate-window width.
+    pub fn new(window: u64) -> Self {
+        RecoveryStats {
+            events: Vec::new(),
+            window: window.max(1),
+        }
+    }
+
+    /// The delivered-rate window width in cycles.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Record a fault activation; returns its event index.
+    pub fn begin_event(&mut self, cycle: u64, newly_faulty: usize, pre_fault_rate: f64) -> usize {
+        self.events.push(RecoveryEvent {
+            cycle,
+            newly_faulty,
+            aborted: 0,
+            requeued: 0,
+            lost: 0,
+            recovered: 0,
+            recovery_latency_total: 0,
+            pre_fault_rate,
+            settle_cycles: None,
+        });
+        self.events.len() - 1
+    }
+
+    /// Count one aborted in-flight message against event `i`.
+    pub fn record_abort(&mut self, i: usize) {
+        self.events[i].aborted += 1;
+    }
+
+    /// Count one requeued (route re-sampled) message against event `i`.
+    pub fn record_requeued(&mut self, i: usize) {
+        self.events[i].requeued += 1;
+    }
+
+    /// Count one permanently lost message against event `i`.
+    pub fn record_lost(&mut self, i: usize) {
+        self.events[i].lost += 1;
+    }
+
+    /// An aborted message of event `i` was delivered `latency` cycles after
+    /// its abort.
+    pub fn record_recovered(&mut self, i: usize, latency: u64) {
+        let e = &mut self.events[i];
+        e.recovered += 1;
+        e.recovery_latency_total += latency;
+    }
+
+    /// Event `i`'s delivered rate returned to the settle band `cycles`
+    /// after activation. Idempotent: only the first call sticks.
+    pub fn set_settled(&mut self, i: usize, cycles: u64) {
+        let slot = &mut self.events[i].settle_cycles;
+        if slot.is_none() {
+            *slot = Some(cycles);
+        }
+    }
+
+    /// The recorded events, in activation order.
+    pub fn events(&self) -> &[RecoveryEvent] {
+        &self.events
+    }
+
+    /// Number of recorded fault activations.
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no fault ever activated.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total aborted in-flight messages across events.
+    pub fn total_aborted(&self) -> u64 {
+        self.events.iter().map(|e| e.aborted).sum()
+    }
+
+    /// Total requeued messages across events.
+    pub fn total_requeued(&self) -> u64 {
+        self.events.iter().map(|e| e.requeued).sum()
+    }
+
+    /// Total permanently lost messages across events.
+    pub fn total_lost(&self) -> u64 {
+        self.events.iter().map(|e| e.lost).sum()
+    }
+
+    /// Total recovered (aborted then delivered) messages across events.
+    pub fn total_recovered(&self) -> u64 {
+        self.events.iter().map(|e| e.recovered).sum()
+    }
+
+    /// Mean recovery latency over every recovered message of the run.
+    pub fn mean_recovery_latency(&self) -> Option<f64> {
+        let n = self.total_recovered();
+        (n > 0).then(|| {
+            self.events
+                .iter()
+                .map(|e| e.recovery_latency_total)
+                .sum::<u64>() as f64
+                / n as f64
+        })
+    }
+
+    /// Mean settling time over the events that did settle.
+    pub fn mean_settle_cycles(&self) -> Option<f64> {
+        let settled: Vec<u64> = self.events.iter().filter_map(|e| e.settle_cycles).collect();
+        (!settled.is_empty()).then(|| settled.iter().sum::<u64>() as f64 / settled.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_lifecycle_and_aggregates() {
+        let mut s = RecoveryStats::new(500);
+        assert!(s.is_empty());
+        let e0 = s.begin_event(1000, 3, 0.8);
+        s.record_abort(e0);
+        s.record_abort(e0);
+        s.record_requeued(e0);
+        s.record_lost(e0);
+        s.record_recovered(e0, 40);
+        s.record_recovered(e0, 60);
+        let e1 = s.begin_event(2000, 1, 0.7);
+        s.record_abort(e1);
+        assert_eq!(s.num_events(), 2);
+        assert_eq!(s.total_aborted(), 3);
+        assert_eq!(s.total_requeued(), 1);
+        assert_eq!(s.total_lost(), 1);
+        assert_eq!(s.total_recovered(), 2);
+        assert_eq!(s.mean_recovery_latency(), Some(50.0));
+        assert_eq!(s.events()[0].mean_recovery_latency(), Some(50.0));
+        assert_eq!(s.events()[1].mean_recovery_latency(), None);
+    }
+
+    #[test]
+    fn settle_is_first_write_wins() {
+        let mut s = RecoveryStats::new(500);
+        let e = s.begin_event(100, 1, 1.0);
+        assert_eq!(s.events()[e].settle_cycles, None);
+        s.set_settled(e, 700);
+        s.set_settled(e, 900);
+        assert_eq!(s.events()[e].settle_cycles, Some(700));
+        assert_eq!(s.mean_settle_cycles(), Some(700.0));
+    }
+
+    #[test]
+    fn serializes_round_trip() {
+        let mut s = RecoveryStats::new(500);
+        let e = s.begin_event(100, 2, 0.5);
+        s.record_abort(e);
+        s.record_recovered(e, 33);
+        s.set_settled(e, 250);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: RecoveryStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        // Unsettled events round-trip the None.
+        let mut s2 = RecoveryStats::new(500);
+        s2.begin_event(5, 1, 0.1);
+        let back2: RecoveryStats =
+            serde_json::from_str(&serde_json::to_string(&s2).unwrap()).unwrap();
+        assert_eq!(back2, s2);
+    }
+}

@@ -1,6 +1,8 @@
 //! The combined per-simulation report.
 
-use crate::{LatencyStats, NodeLoadStats, RingLoadSummary, ThroughputStats, VcUsageStats};
+use crate::{
+    LatencyStats, NodeLoadStats, RecoveryStats, RingLoadSummary, ThroughputStats, VcUsageStats,
+};
 use serde::{Deserialize, Serialize};
 
 /// Everything one simulation run measured. Produced by the engine,
@@ -42,6 +44,9 @@ pub struct SimReport {
     pub in_flight_at_end: u64,
     /// The f-ring/other load split (only meaningful with faults).
     pub ring_load: Option<RingLoadSummary>,
+    /// Online fault-recovery statistics (`None` for static-fault runs
+    /// without a chaos driver installed).
+    pub recovery: Option<RecoveryStats>,
 }
 
 impl SimReport {
@@ -104,6 +109,7 @@ mod tests {
             total_misroutes: 0,
             in_flight_at_end: 0,
             ring_load: None,
+            recovery: None,
         }
     }
 

@@ -27,6 +27,23 @@ impl RoutingContext {
         }
     }
 
+    /// Derive a context for an online-extended pattern (see
+    /// `FaultPattern::extend`): f-rings are rebuilt incrementally —
+    /// regions whose rectangle survived the event keep their node walk —
+    /// and the labeling is recomputed (it depends on every region's
+    /// position, so there is no cheap incremental form). Used by the chaos
+    /// driver to swap routing state mid-run.
+    pub fn with_pattern(&self, pattern: FaultPattern) -> Self {
+        let rings = FRingSet::rebuild(&self.mesh, &pattern, &self.pattern, &self.rings);
+        let labeling = NodeLabeling::compute(&self.mesh, &pattern);
+        RoutingContext {
+            mesh: self.mesh.clone(),
+            pattern,
+            rings,
+            labeling,
+        }
+    }
+
     /// The mesh.
     #[inline]
     pub fn mesh(&self) -> &Mesh {
@@ -111,6 +128,26 @@ mod tests {
         assert!(!ctx.blocked_by_fault(mesh.node(4, 5), mesh.node(9, 6)));
         // At destination → never blocked.
         assert!(!ctx.blocked_by_fault(mesh.node(4, 5), mesh.node(4, 5)));
+    }
+
+    #[test]
+    fn with_pattern_matches_fresh_context() {
+        let mesh = Mesh::square(10);
+        let base = FaultPattern::from_faulty_coords(&mesh, [Coord::new(2, 2)]).unwrap();
+        let ctx = RoutingContext::new(mesh.clone(), base.clone());
+        let ext = base.extend(&mesh, [Coord::new(7, 7)]).unwrap();
+        let derived = ctx.with_pattern(ext.clone());
+        let fresh = RoutingContext::new(mesh.clone(), ext);
+        assert_eq!(derived.rings().rings().len(), fresh.rings().rings().len());
+        for (a, b) in derived.rings().rings().iter().zip(fresh.rings().rings()) {
+            assert_eq!(a.nodes(), b.nodes());
+            assert_eq!(a.is_closed(), b.is_closed());
+        }
+        for n in mesh.nodes() {
+            assert_eq!(derived.labeling().label(n), fresh.labeling().label(n));
+        }
+        // The original context is untouched.
+        assert_eq!(ctx.pattern().num_seed_faulty(), 1);
     }
 
     #[test]
