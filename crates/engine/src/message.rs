@@ -1,6 +1,5 @@
 //! In-flight message bookkeeping.
 
-use std::collections::VecDeque;
 use wormsim_routing::MessageState;
 use wormsim_topology::NodeId;
 
@@ -31,29 +30,157 @@ pub(crate) struct PathEntry {
     pub occ: u8,
 }
 
+/// The VCs a message holds, oldest (source side) first: a grow-only
+/// vector plus a front offset. The per-cycle pipeline loop wants a plain
+/// contiguous slice (a `VecDeque` needs `make_contiguous` and pays
+/// ring-buffer arithmetic on every index), and a wormhole only ever
+/// appends at the head side and drains at the tail, so `pop_front` is a
+/// cursor bump. The buffer resets whenever the path empties; its length
+/// is bounded by the hops of one traversal, so slab reuse keeps both the
+/// capacity and the zero-allocation steady state.
+#[derive(Debug, Default)]
+pub(crate) struct PathBuf {
+    buf: Vec<PathEntry>,
+    front: usize,
+}
+
+impl PathBuf {
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.front
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.front == self.buf.len()
+    }
+
+    #[inline]
+    pub fn push_back(&mut self, e: PathEntry) {
+        self.buf.push(e);
+    }
+
+    /// Drop the oldest entry. O(1): the drained prefix is left in place
+    /// and reclaimed wholesale when the path empties.
+    #[inline]
+    pub fn pop_front(&mut self) {
+        debug_assert!(!self.is_empty());
+        self.front += 1;
+        if self.front == self.buf.len() {
+            self.clear();
+        }
+    }
+
+    #[inline]
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.front = 0;
+    }
+
+    /// Reserve room for `additional` more entries (prewarm support: a
+    /// path buffer sized to the longest possible traversal up front
+    /// never reallocates mid-run).
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    #[inline]
+    pub fn front(&self) -> Option<&PathEntry> {
+        self.buf.get(self.front)
+    }
+
+    #[inline]
+    pub fn back(&self) -> Option<&PathEntry> {
+        self.buf.last()
+    }
+
+    #[cfg(test)]
+    pub fn back_mut(&mut self) -> Option<&mut PathEntry> {
+        self.buf.last_mut()
+    }
+
+    #[inline]
+    pub fn iter(&self) -> std::slice::Iter<'_, PathEntry> {
+        self.buf[self.front..].iter()
+    }
+
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [PathEntry] {
+        &mut self.buf[self.front..]
+    }
+}
+
+impl std::ops::Index<usize> for PathBuf {
+    type Output = PathEntry;
+
+    #[inline]
+    fn index(&self, i: usize) -> &PathEntry {
+        &self.buf[self.front + i]
+    }
+}
+
+impl<'a> IntoIterator for &'a PathBuf {
+    type Item = &'a PathEntry;
+    type IntoIter = std::slice::Iter<'a, PathEntry>;
+
+    #[inline]
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Where a message stands in the header-allocation pipeline. The
+/// allocator only runs `route()` for [`AllocPhase::Contend`] messages;
+/// the other two phases are skipped outright, which is what makes the
+/// cycle loop cheap under congestion (a blocked header re-arbitrates only
+/// when a VC it registered for frees, not every cycle).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum AllocPhase {
+    /// Header in transit to the head VC's buffer (or the message is
+    /// ejecting at its destination): nothing to allocate.
+    Moving,
+    /// Header routable; must attempt routing + VC allocation this cycle.
+    Contend,
+    /// Allocation attempted and failed; asleep on the wake lists of every
+    /// busy candidate VC slot until one frees (or the algorithm's
+    /// `recheck_wait` threshold forces a widened re-route).
+    Blocked,
+}
+
 /// A message in flight. Its flits are never materialized: each held VC
 /// tracks only counts, which fully determines wormhole pipeline behavior.
 #[derive(Debug)]
 pub(crate) struct Msg {
-    pub src: NodeId,
-    pub dest: NodeId,
+    // --- hot: touched every cycle for every active message ---
+    /// VCs currently held, oldest (source side) first.
+    pub path: PathBuf,
+    /// Flits still waiting at the source (not yet entered `path[0]`).
+    pub at_source: u32,
+    /// Flits consumed at the destination.
+    pub delivered: u32,
     pub length: u32,
+    pub dest: NodeId,
+    pub src: NodeId,
+    /// Slab liveness flag.
+    pub alive: bool,
+    /// Header-allocation phase (see [`AllocPhase`]).
+    pub alloc: AllocPhase,
+    /// No flit of this message can move, now or on any future cycle,
+    /// until its *own* state changes (the movement predicates depend only
+    /// on the message's own buffer occupancies, `entered` counts, and
+    /// `at_source` — never on other traffic), so the per-cycle movement
+    /// pass skips it outright. Cleared when the path grows (header
+    /// allocated a new VC) or the message is reset/re-routed.
+    pub stalled: bool,
+    /// Cycle of the last flit movement (watchdog input).
+    pub last_progress: u64,
+    // --- cold: read on routing decisions, delivery, or recovery only ---
     pub created: u64,
     /// Cycle the first flit entered the network (None while still queued at
     /// the source). Network latency = delivery − this; total latency =
     /// delivery − `created` (includes source queueing).
     pub first_injected: Option<u64>,
     pub state: MessageState,
-    /// VCs currently held, oldest (source side) first.
-    pub path: VecDeque<PathEntry>,
-    /// Flits still waiting at the source (not yet entered `path[0]`).
-    pub at_source: u32,
-    /// Flits consumed at the destination.
-    pub delivered: u32,
-    /// Cycle of the last flit movement (watchdog input).
-    pub last_progress: u64,
-    /// Slab liveness flag.
-    pub alive: bool,
     /// Times this message was dropped and re-injected by the watchdog.
     pub recoveries: u32,
     /// Times this message was aborted by an online fault event (drives the
@@ -73,7 +200,7 @@ impl Msg {
             created,
             first_injected: None,
             state,
-            path: VecDeque::new(),
+            path: PathBuf::default(),
             at_source: length,
             delivered: 0,
             last_progress: created,
@@ -81,12 +208,15 @@ impl Msg {
             recoveries: 0,
             chaos_aborts: 0,
             abort_tag: None,
+            alloc: AllocPhase::Contend,
+            stalled: false,
         }
     }
 
     /// Reinitialize a recycled slab slot for a fresh message. Unlike
-    /// overwriting with [`Msg::new`], the `path` deque keeps its allocated
-    /// capacity, so steady-state slab reuse performs no heap allocation.
+    /// overwriting with [`Msg::new`], the `path` buffer keeps its
+    /// allocated capacity, so steady-state slab reuse performs no heap
+    /// allocation.
     pub fn reset(
         &mut self,
         src: NodeId,
@@ -110,6 +240,8 @@ impl Msg {
         self.recoveries = 0;
         self.chaos_aborts = 0;
         self.abort_tag = None;
+        self.alloc = AllocPhase::Contend;
+        self.stalled = false;
     }
 
     /// Whether the header flit is sitting in the buffer of the last held VC

@@ -3,7 +3,7 @@
 
 use crate::config::SimConfig;
 use crate::fault_hook::{FaultActivation, FaultDriver};
-use crate::message::{Msg, MsgId, PathEntry};
+use crate::message::{AllocPhase, Msg, MsgId, PathEntry};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -13,7 +13,7 @@ use wormsim_metrics::{
     LatencyStats, NodeLoadStats, RecoveryStats, SimReport, ThroughputStats, VcUsageStats,
     SETTLE_FRACTION,
 };
-use wormsim_routing::{RoutingAlgorithm, RoutingContext};
+use wormsim_routing::{MessageState, RoutingAlgorithm, RoutingContext};
 use wormsim_topology::{ChannelId, NodeId};
 use wormsim_traffic::{DestinationSampler, Injector, Workload};
 
@@ -44,9 +44,12 @@ pub struct Simulator {
 
     cycle: u64,
     /// Per-cycle link bandwidth budget (one flit per physical channel).
-    link_used: Vec<bool>,
-    /// Per-cycle ejection budget (one flit per node).
-    eject_used: Vec<bool>,
+    /// Epoch-stamped: slot `ch` holds `cycle + 1` when the channel moved a
+    /// flit this cycle, so no per-cycle clear is needed (0 never matches).
+    link_used: Vec<u64>,
+    /// Per-cycle ejection budget (one flit per node); epoch-stamped like
+    /// `link_used`.
+    eject_used: Vec<u64>,
     /// Scratch order buffer, shuffled every cycle.
     order: Vec<u32>,
     /// Scratch buffer for watchdog-expired message ids (reused per cycle).
@@ -54,6 +57,23 @@ pub struct Simulator {
     /// Scratch buffer for free `(slot key, vc)` allocation candidates
     /// (reused per routing decision).
     eligible_scratch: Vec<(u32, u8)>,
+    /// Scratch buffer for the busy candidate slot keys of one routing
+    /// decision (the slots whose release must wake the header on failure).
+    busy_scratch: Vec<u32>,
+    /// Scratch buffer for slot keys freed while moving one message's flits.
+    freed_scratch: Vec<u32>,
+    /// Per-VC-slot wake lists: blocked headers to re-arbitrate when the
+    /// slot frees. Deduplicated on push; stale entries (headers that moved
+    /// on, died, or were recycled) are dropped when the list drains.
+    waiters: Vec<Vec<u32>>,
+    /// `active` mirrored in `(created, id)` order. Maintained incrementally
+    /// (binary insert on promotion, mirrored removals) and only under
+    /// [`crate::config::Arbitration::OldestFirst`], replacing the full
+    /// re-sort the service-order phase used to do every cycle.
+    ordered: Vec<u32>,
+    /// Cached [`RoutingAlgorithm::recheck_wait`] of the current algorithm
+    /// (refreshed when a fault activation swaps the algorithm).
+    recheck_wait: Option<u32>,
 
     latency: LatencyStats,
     network_latency: LatencyStats,
@@ -111,6 +131,8 @@ impl Simulator {
             .collect();
         let sampler = DestinationSampler::new(workload.pattern, mesh, healthy);
         let channels = mesh.channels().count();
+        let recheck_wait = algo.recheck_wait();
+        let num_slots = mesh.num_channel_slots() * num_vcs as usize;
         Simulator {
             algo,
             workload,
@@ -125,11 +147,16 @@ impl Simulator {
             sampler,
             rng: SmallRng::seed_from_u64(cfg.seed),
             cycle: 0,
-            link_used: vec![false; mesh.num_channel_slots()],
-            eject_used: vec![false; num_nodes],
+            link_used: vec![0; mesh.num_channel_slots()],
+            eject_used: vec![0; num_nodes],
             order: Vec::new(),
             stuck_scratch: Vec::new(),
             eligible_scratch: Vec::new(),
+            busy_scratch: Vec::new(),
+            freed_scratch: Vec::new(),
+            waiters: vec![Vec::new(); num_slots],
+            ordered: Vec::new(),
+            recheck_wait,
             latency: LatencyStats::new(),
             network_latency: LatencyStats::new(),
             throughput: ThroughputStats::new(num_healthy),
@@ -228,6 +255,54 @@ impl Simulator {
     pub fn is_delivered(&self, id: MsgId) -> bool {
         let m = &self.msgs[id.0 as usize];
         !m.alive
+    }
+
+    /// Pre-size every population-dependent structure so a run creating up
+    /// to `messages` messages, each holding at most `max_path` VCs at
+    /// once, performs no heap allocation afterwards. The slab is filled
+    /// with dead, capacity-reserved messages parked on the free list
+    /// (creation then always recycles), and source queues, scratch
+    /// buffers, and wake lists reserve for the same population.
+    ///
+    /// Queue reservations assume roughly uniform source selection (4× the
+    /// per-node mean plus slack); a pathological workload funneling most
+    /// creations through one source could still grow its queue. Intended
+    /// for benchmarks that assert an allocation-free measurement window;
+    /// simulation behavior is completely unaffected.
+    pub fn prewarm(&mut self, messages: usize, max_path: usize) {
+        let have = self.msgs.len();
+        if messages > have {
+            self.msgs.reserve(messages - have);
+            self.free_list.reserve(messages);
+            for idx in have..messages {
+                let state = MessageState::new(NodeId(0), NodeId(0));
+                let mut m = Msg::new(NodeId(0), NodeId(0), 0, 0, state);
+                m.alive = false;
+                m.path.reserve(max_path);
+                self.msgs.push(m);
+                self.free_list.push(idx as u32);
+            }
+        }
+        let num_nodes = self.queues.len();
+        let per_node = 4 * messages / num_nodes.max(1) + 64;
+        for q in &mut self.queues {
+            q.reserve(per_node);
+        }
+        // Concurrently active messages each hold a VC slot (plus one
+        // possible queue promotion per node per cycle).
+        let max_active = self.slots.len() + num_nodes;
+        self.active.reserve(max_active);
+        self.order.reserve(max_active);
+        self.ordered.reserve(max_active);
+        self.stuck_scratch.reserve(max_active);
+        self.backoff.reserve(max_active);
+        for w in &mut self.waiters {
+            w.reserve(8);
+        }
+        let per_route = self.num_vcs as usize * 8;
+        self.eligible_scratch.reserve(per_route);
+        self.busy_scratch.reserve(per_route);
+        self.freed_scratch.reserve(max_path);
     }
 
     fn alloc_msg(&mut self, src: NodeId, dest: NodeId) -> MsgId {
@@ -452,6 +527,24 @@ impl Simulator {
                 );
             }
         }
+        // 6. Allocation-phase soundness: a routable header that is not at
+        // its destination must be contending or blocked — a `Moving` mark
+        // here would make the allocator skip it forever (blocked headers
+        // additionally rely on wake lists / recheck / watchdog to wake).
+        for &id in &self.active {
+            let m = &self.msgs[id as usize];
+            if !m.alive {
+                continue;
+            }
+            let routable = m.path.is_empty() || m.header_at_head();
+            if routable && self.head_node(m) != m.dest {
+                assert_ne!(
+                    m.alloc,
+                    AllocPhase::Moving,
+                    "routable header stuck in the Moving phase"
+                );
+            }
+        }
     }
 
     /// Advance the simulation by one cycle.
@@ -486,25 +579,42 @@ impl Simulator {
         }
 
         // 2. Promote queued messages onto free injection ports.
+        let oldest_first = matches!(
+            self.cfg.arbitration,
+            crate::config::Arbitration::OldestFirst
+        );
         for node in 0..self.queues.len() {
             if self.injecting[node].is_none() {
                 if let Some(id) = self.queues[node].pop_front() {
                     self.injecting[node] = Some(id);
                     self.active.push(id);
+                    if oldest_first {
+                        self.ordered_insert(id);
+                    }
                 }
             }
         }
 
         // 3. Service order: random (the paper's conflict resolution) or
-        // oldest-first (starvation-free ablation alternative).
+        // oldest-first (starvation-free ablation alternative). Oldest-first
+        // copies the incrementally maintained `(created, id)` mirror
+        // instead of re-sorting the whole active set every cycle.
         self.order.clear();
-        self.order.extend_from_slice(&self.active);
         match self.cfg.arbitration {
-            crate::config::Arbitration::Random => self.order.shuffle(&mut self.rng),
+            crate::config::Arbitration::Random => {
+                self.order.extend_from_slice(&self.active);
+                self.order.shuffle(&mut self.rng);
+            }
             crate::config::Arbitration::OldestFirst => {
-                let msgs = &self.msgs;
-                self.order
-                    .sort_by_key(|&id| (msgs[id as usize].created, id));
+                debug_assert_eq!(self.ordered.len(), self.active.len());
+                debug_assert!(
+                    self.ordered.windows(2).all(|w| {
+                        (self.msgs[w[0] as usize].created, w[0])
+                            < (self.msgs[w[1] as usize].created, w[1])
+                    }),
+                    "ordered mirror lost its sort order"
+                );
+                self.order.extend_from_slice(&self.ordered);
             }
         }
 
@@ -515,8 +625,8 @@ impl Simulator {
         }
 
         // 5. Flit movement (ejection, pipeline shifts, source injection).
-        self.link_used.fill(false);
-        self.eject_used.fill(false);
+        // `link_used`/`eject_used` need no clearing: they are epoch-stamped
+        // with `cycle + 1`, so last cycle's marks simply stop matching.
         for &id in &order {
             self.move_flits(id, measuring);
         }
@@ -545,6 +655,9 @@ impl Simulator {
         }
         let msgs = &self.msgs;
         self.active.retain(|&id| msgs[id as usize].alive);
+        if oldest_first {
+            self.ordered.retain(|&id| msgs[id as usize].alive);
+        }
 
         // 8. Delivered-rate window + settling detection (chaos runs only).
         if self.recovery.is_some() {
@@ -624,11 +737,37 @@ impl Simulator {
     }
 
     /// Route the header of message `id` and claim an output VC if possible.
+    ///
+    /// Only [`AllocPhase::Contend`] headers do real work. `Moving` headers
+    /// are skipped outright; `Blocked` ones just account a wait cycle —
+    /// their candidate set is stable between hops (`route` is idempotent),
+    /// so re-arbitration is deferred until a VC slot they registered for
+    /// frees ([`Simulator::wake_waiters`]) or the algorithm's
+    /// `recheck_wait` threshold says the set widens at this exact wait
+    /// count. Because the only RNG draw in here happens on a *successful*
+    /// allocation, and a skipped attempt is always one that would have
+    /// failed, the RNG stream — and thus the whole simulation — is
+    /// byte-identical to re-routing every blocked header every cycle.
     fn try_allocate(&mut self, id: u32) {
         let m = &self.msgs[id as usize];
         if !m.alive {
             return;
         }
+        match m.alloc {
+            AllocPhase::Moving => return,
+            AllocPhase::Blocked => {
+                // Fall through to a full attempt only when `route` must see
+                // exactly the threshold wait count (the widened attempt the
+                // always-retry loop would have made); otherwise just keep
+                // the wait counter ticking as that loop did.
+                if Some(m.state.wait_cycles) != self.recheck_wait {
+                    self.msgs[id as usize].state.wait_cycles += 1;
+                    return;
+                }
+            }
+            AllocPhase::Contend => {}
+        }
+        let m = &self.msgs[id as usize];
         // Routable: header at source (path empty, owning the injection
         // port) or header buffered at the last held VC's downstream node.
         let at_source = m.path.is_empty();
@@ -646,9 +785,13 @@ impl Simulator {
 
         // Gather free (channel, vc) pairs, preferred tier first, into the
         // reusable scratch buffer (taken out of `self` to satisfy the
-        // borrow checker; returned before every exit).
+        // borrow checker; returned before every exit). Busy candidate keys
+        // are collected alongside: on failure they are exactly the slots
+        // whose release must wake this header.
         let mut eligible = std::mem::take(&mut self.eligible_scratch);
+        let mut busy = std::mem::take(&mut self.busy_scratch);
         eligible.clear();
+        busy.clear();
         for tier in 0..2 {
             for hop in cands.iter() {
                 let mask = if tier == 0 {
@@ -668,6 +811,8 @@ impl Simulator {
                     let key = self.key(ch, vc);
                     if self.slots[key as usize].is_none() {
                         eligible.push((key, vc));
+                    } else {
+                        busy.push(key);
                     }
                 }
             }
@@ -677,13 +822,29 @@ impl Simulator {
         }
 
         if eligible.is_empty() {
+            // Sleep on every busy candidate slot. (No candidates at all —
+            // fault-blocked with nowhere to go — leaves the wake lists
+            // empty; only the watchdog, the recheck threshold, or a fault
+            // activation can change that picture, and all three re-set
+            // `Contend`.) Dedup on push bounds each list by the number of
+            // live contenders, keeping steady-state pushes allocation-free.
+            for &key in &busy {
+                let list = &mut self.waiters[key as usize];
+                if !list.contains(&id) {
+                    list.push(id);
+                }
+            }
             self.eligible_scratch = eligible;
+            self.busy_scratch = busy;
             state.wait_cycles += 1;
-            self.msgs[id as usize].state = state;
+            let m = &mut self.msgs[id as usize];
+            m.state = state;
+            m.alloc = AllocPhase::Blocked;
             return;
         }
         let &(key, vc) = eligible.choose(&mut self.rng).expect("non-empty");
         self.eligible_scratch = eligible;
+        self.busy_scratch = busy;
         let ch = self.key_channel(key);
         let next = mesh.channel_dest(ch).expect("candidate channel exists");
         let dir = mesh.channel_dir(ch);
@@ -695,6 +856,10 @@ impl Simulator {
         self.vc_usage.acquire(vc);
         let m = &mut self.msgs[id as usize];
         m.state = state;
+        m.alloc = AllocPhase::Moving;
+        // The path grew: the header can advance into the fresh (empty) VC
+        // buffer, so any movement stall is over.
+        m.stalled = false;
         m.path.push_back(PathEntry {
             key,
             ch: ch.0,
@@ -705,29 +870,77 @@ impl Simulator {
         });
     }
 
+    /// Binary-insert `id` into the `(created, id)`-sorted mirror of
+    /// `active` (oldest-first arbitration only). Promotion order mostly
+    /// tracks creation order, so the insert usually lands at the tail.
+    fn ordered_insert(&mut self, id: u32) {
+        let key = (self.msgs[id as usize].created, id);
+        let pos = self
+            .ordered
+            .binary_search_by_key(&key, |&x| (self.msgs[x as usize].created, x))
+            .unwrap_or_else(|p| p);
+        self.ordered.insert(pos, id);
+    }
+
+    /// Wake every header asleep on slot `key`: the freed VC re-arbitrates
+    /// its registered contenders next cycle. Entries that are no longer
+    /// blocked (moved on, died, slab slot recycled) are stale; they are
+    /// dropped here, and a spurious wake of a recycled id merely costs one
+    /// failed attempt (which draws no RNG).
+    fn wake_waiters(&mut self, key: u32) {
+        let list = &mut self.waiters[key as usize];
+        if list.is_empty() {
+            return;
+        }
+        for &wid in list.iter() {
+            let wm = &mut self.msgs[wid as usize];
+            if wm.alive && wm.alloc == AllocPhase::Blocked {
+                wm.alloc = AllocPhase::Contend;
+            }
+        }
+        list.clear();
+    }
+
     /// Advance the message's flit pipeline by up to one flit per held link.
     fn move_flits(&mut self, id: u32, measuring: bool) {
         let depth = self.cfg.buffer_depth;
-        let m = &mut self.msgs[id as usize];
-        if !m.alive || m.path.is_empty() {
-            return;
+        let stamp = self.cycle + 1;
+        {
+            let m = &self.msgs[id as usize];
+            if !m.alive || m.path.is_empty() {
+                return;
+            }
+            // A stalled wormhole (checked below after each movement pass)
+            // cannot move any flit until its own state changes, and it
+            // would not have marked `link_used`/`eject_used` either, so
+            // skipping it is byte-identical to walking its path again.
+            if m.stalled {
+                return;
+            }
         }
+        // Slot keys freed below (tail drains, completion) collect into the
+        // reusable scratch so their wake lists can drain once the message
+        // borrow ends.
+        let mut freed = std::mem::take(&mut self.freed_scratch);
+        freed.clear();
+        let m = &mut self.msgs[id as usize];
         let mut progressed = false;
 
         // Work on a contiguous slice: the pipeline loop indexes entry
-        // pairs every cycle, and slice access skips the deque's
-        // ring-buffer arithmetic. `make_contiguous` only moves data right
-        // after a wrap, which is rare relative to per-cycle calls. Each
-        // entry carries its channel and downstream node, so no mesh
-        // queries (with their coordinate divisions) happen in here at all.
-        let path = m.path.make_contiguous();
+        // pairs every cycle, and the path buffer stores them contiguously
+        // by construction (no ring-buffer arithmetic, no
+        // `make_contiguous`). Each entry carries its channel and
+        // downstream node, so no mesh queries (with their coordinate
+        // divisions) happen in here at all.
+        let path = m.path.as_mut_slice();
 
         // Ejection at the destination (head entry only).
         let head_idx = path.len() - 1;
         let head_entry = path[head_idx];
         let head_node = head_entry.dest;
-        if head_node == m.dest && head_entry.occ > 0 && !self.eject_used[head_node.index()] {
-            self.eject_used[head_node.index()] = true;
+        if head_node == m.dest && head_entry.occ > 0 && self.eject_used[head_node.index()] != stamp
+        {
+            self.eject_used[head_node.index()] = stamp;
             path[head_idx].occ -= 1;
             m.delivered += 1;
             self.delivered_this_cycle += 1;
@@ -736,34 +949,77 @@ impl Simulator {
 
         // Pipeline shifts: into entry j from entry j-1, head side first so
         // slots freed this cycle can be refilled (standard pipelining).
-        for j in (1..path.len()).rev() {
-            let ch = path[j].ch;
-            if path[j - 1].occ > 0
-                && path[j].occ < depth
-                && path[j].entered < m.length
-                && !self.link_used[ch as usize]
+        //
+        // The head stage is peeled off: it is the only one where a move
+        // can be a header arrival (flipping the allocation phase). The
+        // interior loop below is branchless — whether a stage moves is
+        // roughly a coin flip under link contention, so folding the move
+        // condition into arithmetic (conditional moves instead of a
+        // data-dependent branch) sidesteps the mispredict per stage.
+        if head_idx >= 1 {
+            let cur = path[head_idx];
+            let lu = &mut self.link_used[cur.ch as usize];
+            if path[head_idx - 1].occ > 0
+                && cur.occ < depth
+                && cur.entered < m.length
+                && *lu != stamp
             {
-                self.link_used[ch as usize] = true;
-                path[j - 1].occ -= 1;
-                path[j].occ += 1;
-                path[j].entered += 1;
+                *lu = stamp;
+                path[head_idx - 1].occ -= 1;
+                path[head_idx].occ += 1;
+                path[head_idx].entered += 1;
                 progressed = true;
+                if path[head_idx].entered == 1 {
+                    // The header flit just reached the head VC's buffer:
+                    // routable from the next allocation pass on (unless it
+                    // arrived home, where ejection takes over).
+                    m.alloc = if cur.dest == m.dest {
+                        AllocPhase::Moving
+                    } else {
+                        AllocPhase::Contend
+                    };
+                }
                 if measuring {
-                    self.node_load.record_arrival(path[j].dest);
+                    self.node_load.record_arrival(cur.dest);
                 }
             }
+        }
+        let nl_mask = measuring as u64;
+        for j in (1..head_idx).rev() {
+            let cur = path[j];
+            let prev_occ = path[j - 1].occ;
+            let lu = &mut self.link_used[cur.ch as usize];
+            let can =
+                (prev_occ > 0) & (cur.occ < depth) & (cur.entered < m.length) & (*lu != stamp);
+            let d = can as u8;
+            *lu = if can { stamp } else { *lu };
+            path[j - 1].occ = prev_occ - d;
+            path[j].occ = cur.occ + d;
+            path[j].entered = cur.entered + d as u32;
+            progressed |= can;
+            self.node_load.record_arrivals(cur.dest, d as u64 & nl_mask);
         }
 
         // Source injection into the first held VC.
         if m.at_source > 0 {
             let first = path[0];
             let ch = first.ch;
-            if first.occ < depth && first.entered < m.length && !self.link_used[ch as usize] {
-                self.link_used[ch as usize] = true;
+            if first.occ < depth && first.entered < m.length && self.link_used[ch as usize] != stamp
+            {
+                self.link_used[ch as usize] = stamp;
                 path[0].occ += 1;
                 path[0].entered += 1;
                 m.at_source -= 1;
                 progressed = true;
+                if path.len() == 1 && path[0].entered == 1 {
+                    // Header injected straight into the head VC (single-hop
+                    // path so far): routable next pass unless already home.
+                    m.alloc = if first.dest == m.dest {
+                        AllocPhase::Moving
+                    } else {
+                        AllocPhase::Contend
+                    };
+                }
                 if m.first_injected.is_none() {
                     m.first_injected = Some(self.cycle);
                 }
@@ -779,6 +1035,30 @@ impl Simulator {
 
         if progressed {
             m.last_progress = self.cycle;
+        } else {
+            // Stall detection (only worth deciding when nothing moved —
+            // a message that just moved re-scans next cycle anyway). Each
+            // movement predicate above reads only the message's own state
+            // (`occ`/`entered`/`at_source`) plus constants (`depth`,
+            // `length`) — the per-cycle link/ejection budgets are checked
+            // last and only ever *deny* a move. So if no predicate holds
+            // on the current state, none can hold on a later cycle either
+            // until this message's own state changes — which happens only
+            // in `try_allocate` (path growth) or a reset. Mark it stalled
+            // and skip its movement pass until then.
+            let head = path[head_idx];
+            let mut movable = head.dest == m.dest && head.occ > 0;
+            movable =
+                movable || (m.at_source > 0 && path[0].occ < depth && path[0].entered < m.length);
+            if !movable {
+                for j in 1..path.len() {
+                    if path[j - 1].occ > 0 && path[j].occ < depth && path[j].entered < m.length {
+                        movable = true;
+                        break;
+                    }
+                }
+            }
+            m.stalled = !movable;
         }
 
         // Release drained tail VCs (the tail flit has passed through).
@@ -787,6 +1067,7 @@ impl Simulator {
             if front.entered == m.length && front.occ == 0 {
                 self.slots[front.key as usize] = None;
                 self.vc_usage.release(front.vc);
+                freed.push(front.key);
                 m.path.pop_front();
             } else {
                 break;
@@ -798,6 +1079,7 @@ impl Simulator {
             for e in &m.path {
                 self.slots[e.key as usize] = None;
                 self.vc_usage.release(e.vc);
+                freed.push(e.key);
             }
             m.path.clear();
             m.alive = false;
@@ -819,6 +1101,11 @@ impl Simulator {
                 self.network_latency.record(network_latency);
             }
         }
+
+        for &key in &freed {
+            self.wake_waiters(key);
+        }
+        self.freed_scratch = freed;
     }
 
     /// Drain every activation the installed fault driver has due.
@@ -979,6 +1266,26 @@ impl Simulator {
         let msgs = &self.msgs;
         self.active
             .retain(|&id| msgs[id as usize].alive && !in_backoff.contains(&id));
+        if matches!(
+            self.cfg.arbitration,
+            crate::config::Arbitration::OldestFirst
+        ) {
+            self.ordered
+                .retain(|&id| msgs[id as usize].alive && !in_backoff.contains(&id));
+        }
+
+        // The context/algorithm swap invalidated every cached routing
+        // decision: all surviving headers must re-contend (their candidate
+        // sets were computed against the old pattern) and every wake list
+        // is stale. The new algorithm may also widen at a different wait
+        // threshold.
+        self.recheck_wait = self.algo.recheck_wait();
+        for list in &mut self.waiters {
+            list.clear();
+        }
+        for &id in &self.active {
+            self.msgs[id as usize].alloc = AllocPhase::Contend;
+        }
     }
 
     /// Remove an active message from the network for good: release held
@@ -986,10 +1293,13 @@ impl Simulator {
     /// prunes `active` (activation triage immediately, the watchdog via
     /// the end-of-step retain).
     fn kill_active(&mut self, id: u32) {
+        let mut freed = std::mem::take(&mut self.freed_scratch);
+        freed.clear();
         let m = &mut self.msgs[id as usize];
         for e in &m.path {
             self.slots[e.key as usize] = None;
             self.vc_usage.release(e.vc);
+            freed.push(e.key);
         }
         m.path.clear();
         m.alive = false;
@@ -999,6 +1309,10 @@ impl Simulator {
             self.injecting[src.index()] = None;
         }
         self.free_list.push(id);
+        for &key in &freed {
+            self.wake_waiters(key);
+        }
+        self.freed_scratch = freed;
     }
 
     /// Chaos abort: drop the message's flits back to its source, release
@@ -1006,11 +1320,14 @@ impl Simulator {
     /// re-injection after `backoff_base << min(aborts-1, backoff_cap)`
     /// cycles.
     fn abort_for_fault(&mut self, id: u32, ev: usize) {
+        let mut freed = std::mem::take(&mut self.freed_scratch);
+        freed.clear();
         let (src, dest) = {
             let m = &mut self.msgs[id as usize];
             for e in &m.path {
                 self.slots[e.key as usize] = None;
                 self.vc_usage.release(e.vc);
+                freed.push(e.key);
             }
             m.path.clear();
             m.at_source = m.length;
@@ -1019,8 +1336,14 @@ impl Simulator {
             m.last_progress = self.cycle;
             m.chaos_aborts += 1;
             m.abort_tag = Some((ev as u32, self.cycle));
+            m.alloc = AllocPhase::Contend;
+            m.stalled = false;
             (m.src, m.dest)
         };
+        for &key in &freed {
+            self.wake_waiters(key);
+        }
+        self.freed_scratch = freed;
         if self.injecting[src.index()] == Some(id) {
             self.injecting[src.index()] = None;
         }
@@ -1073,11 +1396,14 @@ impl Simulator {
             );
         }
         let src;
+        let mut freed = std::mem::take(&mut self.freed_scratch);
+        freed.clear();
         {
             let m = &mut self.msgs[id as usize];
             for e in &m.path {
                 self.slots[e.key as usize] = None;
                 self.vc_usage.release(e.vc);
+                freed.push(e.key);
             }
             m.path.clear();
             m.at_source = m.length;
@@ -1085,8 +1411,14 @@ impl Simulator {
             m.first_injected = None;
             m.last_progress = self.cycle;
             m.recoveries += 1;
+            m.alloc = AllocPhase::Contend;
+            m.stalled = false;
             src = m.src;
         }
+        for &key in &freed {
+            self.wake_waiters(key);
+        }
+        self.freed_scratch = freed;
         let state = self.algo.init_message(src, self.msgs[id as usize].dest);
         self.msgs[id as usize].state = state;
         // Give the injection port back if this message held it; otherwise
@@ -1101,12 +1433,19 @@ impl Simulator {
                     // Remove from active; re-promoted later.
                     self.msgs[id as usize].alive = true;
                     self.active.retain(|&x| x != id);
+                    self.ordered.retain(|&x| x != id);
                     return;
                 }
                 _ => Some(id),
             };
             if !self.active.contains(&id) {
                 self.active.push(id);
+                if matches!(
+                    self.cfg.arbitration,
+                    crate::config::Arbitration::OldestFirst
+                ) {
+                    self.ordered_insert(id);
+                }
             }
         }
     }

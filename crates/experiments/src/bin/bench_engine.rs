@@ -1,4 +1,4 @@
-//! Engine steady-state performance harness.
+//! Engine steady-state performance harness and CI perf-regression gate.
 //!
 //! Runs the paper-scale configuration — 10×10 mesh, 24 VCs, 100-flit
 //! messages, Duato's routing at 100 % load — with a fixed seed, measures
@@ -7,13 +7,30 @@
 //! perf change that alters simulation *results* is caught, not just one
 //! that alters speed.
 //!
+//! The harness also enforces the engine's zero-allocation steady state:
+//! a counting global allocator snapshots the process-wide allocation
+//! count at the warm-up boundary and the run aborts if the measurement
+//! window performs any heap allocation.
+//!
+//! With `--check BASELINE.json` the run becomes a regression gate
+//! against a committed record: the report fingerprint must match
+//! exactly (simulation results are deterministic and machine-
+//! independent), and cycles/sec must stay above 85 % of the baseline.
+//! Set `WORMSIM_SKIP_PERF_GATE=1` to skip the throughput threshold —
+//! e.g. on throttled or heavily shared CI machines — while keeping the
+//! fingerprint check.
+//!
 //! ```text
 //! cargo run --release -p wormsim-experiments --bin bench_engine
 //! cargo run --release -p wormsim-experiments --bin bench_engine -- \
 //!     --out BENCH_engine.json --dump-report report.json --repeats 3
+//! cargo run --release -p wormsim-experiments --bin bench_engine -- \
+//!     --repeats 1 --check BENCH_engine.json
 //! ```
 
 use serde::Serialize;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use wormsim_engine::{SimConfig, Simulator};
@@ -26,6 +43,37 @@ use wormsim_traffic::Workload;
 const MESH_SIZE: u16 = 10;
 const RATE: f64 = 0.01;
 const SEED: u64 = 0xB41C;
+
+/// Fraction of the baseline's cycles/sec below which `--check` fails.
+const GATE_FLOOR: f64 = 0.85;
+
+/// System allocator wrapped with an allocation counter, installed
+/// process-wide so the steady-state zero-allocation invariant is
+/// checked against *every* allocation, not just the simulator's own.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counter is a relaxed
+// atomic increment with no further invariants.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 #[derive(Serialize)]
 struct BenchRecord {
@@ -45,17 +93,38 @@ struct BenchRecord {
     messages_delivered: u64,
     /// Delivered messages per wall-clock second (best of repeats).
     messages_delivered_per_sec: f64,
+    /// Heap allocations performed inside the measurement window (must be
+    /// zero: the engine's steady state is allocation-free).
+    measure_allocations: u64,
+    /// Routing-decision microbenchmark: mean ns per `route()` call with
+    /// the geometry table against the direct (table-less) computation,
+    /// on a representative faulty pattern.
+    routing_decision_ns: Vec<RoutingDecisionRecord>,
     /// FNV-1a over the run's serialized `SimReport`: the simulation-result
     /// identity for this seed. Perf work must not change it.
     report_fingerprint: String,
 }
 
+#[derive(Serialize)]
+struct RoutingDecisionRecord {
+    algorithm: &'static str,
+    table_ns: f64,
+    direct_ns: f64,
+}
+
 fn usage() -> ! {
-    eprintln!("usage: bench_engine [--out PATH] [--dump-report PATH] [--repeats N]");
+    eprintln!(
+        "usage: bench_engine [--out PATH] [--dump-report PATH] [--repeats N] [--check BASELINE]"
+    );
     std::process::exit(2);
 }
 
-fn run_once() -> (SimReport, f64) {
+/// One full paper-scale run, stepped in two phases so the allocation
+/// counter can bracket the measurement window. Returns the report, the
+/// wall-clock seconds for the whole schedule (warm-up included, matching
+/// the historical `cycles_per_sec` definition), and the number of heap
+/// allocations observed inside the measurement window.
+fn run_once() -> (SimReport, f64, u64) {
     let mesh = Mesh::square(MESH_SIZE);
     let ctx = Arc::new(RoutingContext::new(
         mesh.clone(),
@@ -64,9 +133,72 @@ fn run_once() -> (SimReport, f64) {
     let algo = build_algorithm(AlgorithmKind::Duato, ctx.clone(), VcConfig::paper());
     let cfg = SimConfig::paper().with_seed(SEED);
     let mut sim = Simulator::new(algo, ctx, Workload::paper_uniform(RATE), cfg);
+    // Pre-size for the whole schedule's message population (the paper
+    // config oversubscribes the network, so source queues grow for the
+    // entire run): expected creations plus generous Bernoulli slack, and
+    // path capacity comfortably above the 10×10 diameter. After this,
+    // the measurement window must not allocate at all.
+    let expected =
+        (cfg.total_cycles() as f64 * f64::from(MESH_SIZE) * f64::from(MESH_SIZE) * RATE) as usize;
+    sim.prewarm(expected + expected / 4 + 1024, 32);
     let start = Instant::now();
-    let report = sim.run();
-    (report, start.elapsed().as_secs_f64())
+    for _ in 0..cfg.warmup_cycles {
+        sim.step();
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..cfg.measure_cycles {
+        sim.step();
+    }
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    let elapsed = start.elapsed().as_secs_f64();
+    (sim.report(), elapsed, allocs)
+}
+
+/// Mean ns per `route()` call for every roster algorithm, with the
+/// context's geometry table and with the direct computation. Uses a
+/// faulty pattern so ring geometry (where the table earns its keep) is
+/// actually on the decision path.
+fn routing_decision_bench() -> Vec<RoutingDecisionRecord> {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    let mesh = Mesh::square(MESH_SIZE);
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let pattern = wormsim_fault::random_pattern(&mesh, 10, &mut rng).expect("pattern");
+    let tabled = Arc::new(RoutingContext::new(mesh.clone(), pattern.clone()));
+    let direct = Arc::new(RoutingContext::new_direct(mesh.clone(), pattern.clone()));
+    let healthy: Vec<_> = pattern.healthy_nodes(&mesh).collect();
+
+    let time_route = |ctx: &Arc<RoutingContext>, kind: AlgorithmKind| -> f64 {
+        let algo = build_algorithm(kind, ctx.clone(), VcConfig::paper());
+        // Route between every healthy pair once to warm caches, then time.
+        let pairs: Vec<_> = healthy
+            .iter()
+            .flat_map(|&s| healthy.iter().map(move |&d| (s, d)))
+            .filter(|(s, d)| s != d)
+            .collect();
+        let mut calls = 0u64;
+        for &(src, dest) in &pairs {
+            let mut st = algo.init_message(src, dest);
+            std::hint::black_box(algo.route(src, &mut st));
+            calls += 1;
+        }
+        let start = Instant::now();
+        for &(src, dest) in &pairs {
+            let mut st = algo.init_message(src, dest);
+            std::hint::black_box(algo.route(src, &mut st));
+        }
+        start.elapsed().as_nanos() as f64 / calls as f64
+    };
+
+    AlgorithmKind::ALL
+        .iter()
+        .map(|&kind| RoutingDecisionRecord {
+            algorithm: kind.paper_name(),
+            table_ns: time_route(&tabled, kind),
+            direct_ns: time_route(&direct, kind),
+        })
+        .collect()
 }
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -78,9 +210,60 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Gate the fresh record against a committed baseline. The fingerprint
+/// must match exactly; cycles/sec must reach [`GATE_FLOOR`] of the
+/// baseline unless `WORMSIM_SKIP_PERF_GATE` is set.
+fn check_against_baseline(record: &BenchRecord, path: &str) {
+    let raw = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("--check: cannot read {path}: {e}"));
+    let base: serde_json::Value =
+        serde_json::from_str(&raw).unwrap_or_else(|e| panic!("--check: {path} is not JSON: {e}"));
+    let base_fp = base
+        .get("report_fingerprint")
+        .and_then(|v| v.as_str())
+        .expect("baseline has report_fingerprint");
+    let base_cps = base
+        .get("cycles_per_sec")
+        .and_then(|v| v.as_f64())
+        .expect("baseline has cycles_per_sec");
+
+    if record.report_fingerprint != base_fp {
+        eprintln!(
+            "PERF GATE FAILED: report fingerprint {} != baseline {base_fp} — \
+             the change altered simulation results, not just speed",
+            record.report_fingerprint
+        );
+        std::process::exit(1);
+    }
+    let floor = base_cps * GATE_FLOOR;
+    if std::env::var_os("WORMSIM_SKIP_PERF_GATE").is_some() {
+        eprintln!(
+            "perf gate: fingerprint OK; throughput check skipped (WORMSIM_SKIP_PERF_GATE): \
+             {:.0} cycles/sec vs baseline {base_cps:.0}",
+            record.cycles_per_sec
+        );
+        return;
+    }
+    if record.cycles_per_sec < floor {
+        eprintln!(
+            "PERF GATE FAILED: {:.0} cycles/sec < {floor:.0} \
+             ({:.0}% of baseline {base_cps:.0})",
+            record.cycles_per_sec,
+            GATE_FLOOR * 100.0
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "perf gate: OK — {:.0} cycles/sec vs baseline {base_cps:.0} (floor {floor:.0}), \
+         fingerprint {}",
+        record.cycles_per_sec, record.report_fingerprint
+    );
+}
+
 fn main() {
     let mut out = "BENCH_engine.json".to_string();
     let mut dump_report = None;
+    let mut check = None;
     let mut repeats = 3u32;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -88,6 +271,7 @@ fn main() {
         match a.as_str() {
             "--out" => out = it.next().unwrap_or_else(|| usage()).clone(),
             "--dump-report" => dump_report = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--check" => check = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "--repeats" => {
                 repeats = it
                     .next()
@@ -102,16 +286,22 @@ fn main() {
 
     let cfg = SimConfig::paper();
     let mut best_secs = f64::INFINITY;
+    let mut measure_allocations = 0u64;
     let mut report = None;
     for i in 0..repeats {
-        let (r, secs) = run_once();
+        let (r, secs, allocs) = run_once();
         eprintln!(
-            "run {}/{repeats}: {:.3}s ({:.0} cycles/sec)",
+            "run {}/{repeats}: {:.3}s ({:.0} cycles/sec, {allocs} measure-window allocations)",
             i + 1,
             secs,
             cfg.total_cycles() as f64 / secs
         );
+        assert_eq!(
+            allocs, 0,
+            "steady state regressed: {allocs} heap allocations inside the measurement window"
+        );
         best_secs = best_secs.min(secs);
+        measure_allocations = measure_allocations.max(allocs);
         let json = serde_json::to_string_pretty(&r).expect("report serializes");
         if let Some(prev) = &report {
             let (prev_json, _): &(String, SimReport) = prev;
@@ -138,8 +328,13 @@ fn main() {
         cycles_per_sec: cfg.total_cycles() as f64 / best_secs,
         messages_delivered: report.throughput.messages_delivered(),
         messages_delivered_per_sec: report.throughput.messages_delivered() as f64 / best_secs,
+        measure_allocations,
+        routing_decision_ns: routing_decision_bench(),
         report_fingerprint: format!("{:016x}", fnv1a(report_json.as_bytes())),
     };
+    if let Some(path) = &check {
+        check_against_baseline(&record, path);
+    }
     let record_json = serde_json::to_string_pretty(&record).expect("record serializes");
     std::fs::write(&out, &record_json).expect("write bench record");
     println!("{record_json}");

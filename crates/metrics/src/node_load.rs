@@ -27,6 +27,14 @@ impl NodeLoadStats {
         self.arrivals[n.index()] += 1;
     }
 
+    /// Record `k` flit arrivals at node `n` in one update. `k` may be 0:
+    /// branchless callers (the engine's pipeline loop) fold their move
+    /// condition into `k` instead of branching around the call.
+    #[inline]
+    pub fn record_arrivals(&mut self, n: NodeId, k: u64) {
+        self.arrivals[n.index()] += k;
+    }
+
     /// Advance the measured-cycle count.
     #[inline]
     pub fn tick(&mut self) {

@@ -161,6 +161,13 @@ impl BaseRouting for FullyAdaptive {
         false
     }
 
+    fn recheck_wait(&self) -> Option<u32> {
+        // The candidate set widens once a blocked header has waited out the
+        // misroute patience; the engine must re-route it at that point even
+        // though no VC it registered for has freed.
+        Some(self.misroute_patience)
+    }
+
     fn context(&self) -> &RoutingContext {
         &self.ctx
     }

@@ -19,9 +19,8 @@
 //! 20, leaving one idle spare exactly as the paper's 24-VC budget does).
 
 use crate::context::RoutingContext;
-use crate::state::{Candidates, MessageState, MessageType, RingState, VcMask};
+use crate::state::{Candidates, MessageState, MessageType, VcMask};
 use crate::traits::{BaseRouting, RoutingAlgorithm};
-use wormsim_fault::Orientation;
 use wormsim_topology::{Direction, NodeId};
 
 /// A base discipline fortified with the BC f-ring scheme.
@@ -74,139 +73,18 @@ impl BoppanaChalasani {
                 && !self.ctx().healthy_minimal_directions(node, dest).is_empty())
     }
 
-    /// Pick the traversal orientation per the BC geometric rule: a row
-    /// message (WE/EW) goes around the side of the region its destination
-    /// row lies on (north/south), a column message around the east/west
-    /// side its destination column lies on. The choice depends only on
-    /// geometry — never on congestion — so all same-type messages bound
-    /// for the same side rotate the same way and their ring arcs stay
-    /// within disjoint halves; this is what keeps the single shared
-    /// per-type BC VC deadlock-free (head-on cycles cannot form).
-    fn choose_orientation(
-        &self,
-        ring_id: usize,
-        pos: u16,
-        node: NodeId,
-        dest: NodeId,
-        entry_distance: u32,
-        mtype: MessageType,
-    ) -> Orientation {
-        let ctx = self.ctx();
-        let mesh = ctx.mesh();
-        let rect = ctx.pattern().regions()[ring_id];
-        let (c, d) = (mesh.coord(node), mesh.coord(dest));
-        // Which side of the region should the detour pass?
-        let on_side: Box<dyn Fn(wormsim_topology::Coord) -> bool> = match mtype {
-            MessageType::WE | MessageType::EW => {
-                if d.y >= c.y {
-                    Box::new(move |p| p.y > rect.max.y) // north side
-                } else {
-                    Box::new(move |p| p.y < rect.min.y) // south side
-                }
-            }
-            MessageType::SN | MessageType::NS => {
-                if d.x >= c.x {
-                    Box::new(move |p| p.x > rect.max.x) // east side
-                } else {
-                    Box::new(move |p| p.x < rect.min.x) // west side
-                }
-            }
-        };
-        let ring = ctx.rings().ring(ring_id);
-        // Steps to reach the wanted side in each rotation (chain ends make
-        // a rotation unusable).
-        let cost = |orient: Orientation| -> u32 {
-            let mut p = pos;
-            for step in 1..=ring.len() as u32 {
-                match ring.next(p, orient) {
-                    None => return u32::MAX,
-                    Some((n, np)) => {
-                        if on_side(mesh.coord(n)) {
-                            return step;
-                        }
-                        p = np;
-                    }
-                }
-            }
-            u32::MAX
-        };
-        let (cw, ccw) = (
-            cost(Orientation::Clockwise),
-            cost(Orientation::Counterclockwise),
-        );
-        if cw != ccw {
-            return if ccw < cw {
-                Orientation::Counterclockwise
-            } else {
-                Orientation::Clockwise
-            };
-        }
-        if cw != u32::MAX {
-            return Orientation::Clockwise;
-        }
-        // Wanted side unreachable in either rotation (boundary chain):
-        // fall back to the nearer usable exit.
-        let exit_cost = |orient: Orientation| -> u32 {
-            let mut p = pos;
-            for step in 1..=ring.len() as u32 {
-                match ring.next(p, orient) {
-                    None => return u32::MAX,
-                    Some((n, np)) => {
-                        if self.is_exit(n, dest, entry_distance) {
-                            return step;
-                        }
-                        p = np;
-                    }
-                }
-            }
-            u32::MAX
-        };
-        if exit_cost(Orientation::Counterclockwise) < exit_cost(Orientation::Clockwise) {
-            Orientation::Counterclockwise
-        } else {
-            Orientation::Clockwise
-        }
-    }
-
-    /// Enter ring mode for a message blocked at `node`.
+    /// Enter ring mode for a message blocked at `node`. The complete entry
+    /// state — blocking region, ring position, message type, and the
+    /// geometric orientation choice (which scans the whole ring) — is a
+    /// pure function of `(node, dest, pattern)`, so a table-backed context
+    /// serves it as one lookup (see `wormsim_routing`'s `table` module for
+    /// the computation).
     fn enter_ring(&self, node: NodeId, st: &mut MessageState) {
-        let ctx = self.ctx();
-        let mesh = ctx.mesh();
-        // The blocking region: any minimal direction leads into a fault.
-        let blocking = mesh
-            .minimal_directions(node, st.dest)
-            .iter()
-            .find_map(|d| {
-                let v = mesh.neighbor(node, d)?;
-                ctx.pattern()
-                    .is_faulty(v)
-                    .then(|| ctx.pattern().region_of(v))?
-            })
-            .expect("blocked message must face a faulty region");
-        let pos = ctx
-            .rings()
-            .position_on(node, blocking)
-            .expect("a node adjacent to a region is on its f-ring");
-        let mtype = MessageType::classify(
-            {
-                let c = mesh.coord(node);
-                (c.x, c.y)
-            },
-            {
-                let c = mesh.coord(st.dest);
-                (c.x, c.y)
-            },
+        st.ring = Some(
+            self.ctx()
+                .ring_entry(node, st.dest)
+                .expect("blocked message must face a faulty region"),
         );
-        let entry_distance = mesh.distance(node, st.dest);
-        let orient =
-            self.choose_orientation(blocking, pos.pos, node, st.dest, entry_distance, mtype);
-        st.ring = Some(RingState {
-            ring: blocking,
-            pos: pos.pos,
-            orient,
-            mtype,
-            entry_distance,
-        });
     }
 
     /// The single ring-mode candidate (the next ring hop on the type's BC
@@ -313,6 +191,10 @@ impl RoutingAlgorithm for BoppanaChalasani {
         vc >= self.bc_base
     }
 
+    fn recheck_wait(&self) -> Option<u32> {
+        self.base.recheck_wait()
+    }
+
     fn context(&self) -> &RoutingContext {
         self.base.context()
     }
@@ -324,7 +206,7 @@ mod tests {
     use crate::adaptive::MinimalAdaptive;
     use crate::hop_based::PHop;
     use std::sync::Arc;
-    use wormsim_fault::FaultPattern;
+    use wormsim_fault::{FaultPattern, Orientation};
     use wormsim_topology::{Coord, Mesh, Rect};
 
     fn ctx_with_block() -> (Arc<RoutingContext>, Mesh) {

@@ -1,22 +1,48 @@
 //! The immutable per-simulation context algorithms route against.
 
+use crate::state::RingState;
+use crate::table::{self, GeometryTable};
 use wormsim_fault::{FRingSet, FaultPattern, NodeLabeling};
 use wormsim_topology::{Direction, DirectionSet, Mesh, NodeId};
 
 /// Everything a routing function needs to know about the network: the mesh,
 /// the (static) fault pattern, the f-rings around its regions, and the
 /// Boura–Das labeling. Built once per simulation and shared via `Arc`.
+///
+/// [`RoutingContext::new`] additionally precomputes a [`GeometryTable`] so
+/// the per-pair queries below are indexed lookups; [`RoutingContext::
+/// new_direct`] skips it and computes every query from first principles —
+/// the reference path the table-equivalence property tests compare against.
 #[derive(Clone, Debug)]
 pub struct RoutingContext {
     mesh: Mesh,
     pattern: FaultPattern,
     rings: FRingSet,
     labeling: NodeLabeling,
+    table: Option<GeometryTable>,
 }
 
 impl RoutingContext {
-    /// Build the context (computes f-rings and labeling).
+    /// Build the context (computes f-rings, labeling, and the geometry
+    /// table).
     pub fn new(mesh: Mesh, pattern: FaultPattern) -> Self {
+        let rings = FRingSet::build(&mesh, &pattern);
+        let labeling = NodeLabeling::compute(&mesh, &pattern);
+        let table = Some(GeometryTable::build(&mesh, &pattern, &rings, &labeling));
+        RoutingContext {
+            mesh,
+            pattern,
+            rings,
+            labeling,
+            table,
+        }
+    }
+
+    /// Build the context **without** the geometry table: every query is
+    /// computed directly. Slower per decision; used as the reference
+    /// implementation by equivalence tests and the `routing_decision`
+    /// microbenchmark.
+    pub fn new_direct(mesh: Mesh, pattern: FaultPattern) -> Self {
         let rings = FRingSet::build(&mesh, &pattern);
         let labeling = NodeLabeling::compute(&mesh, &pattern);
         RoutingContext {
@@ -24,23 +50,38 @@ impl RoutingContext {
             pattern,
             rings,
             labeling,
+            table: None,
         }
     }
 
     /// Derive a context for an online-extended pattern (see
     /// `FaultPattern::extend`): f-rings are rebuilt incrementally —
     /// regions whose rectangle survived the event keep their node walk —
-    /// and the labeling is recomputed (it depends on every region's
-    /// position, so there is no cheap incremental form). Used by the chaos
-    /// driver to swap routing state mid-run.
+    /// the labeling is recomputed (it depends on every region's position,
+    /// so there is no cheap incremental form), and the geometry table is
+    /// rebuilt incrementally (only rows of nodes on or around a touched
+    /// f-ring recompute; the epoch advances by one). Used by the chaos
+    /// driver to swap routing state mid-run. A table-less context stays
+    /// table-less.
     pub fn with_pattern(&self, pattern: FaultPattern) -> Self {
         let rings = FRingSet::rebuild(&self.mesh, &pattern, &self.pattern, &self.rings);
         let labeling = NodeLabeling::compute(&self.mesh, &pattern);
+        let table = self.table.as_ref().map(|t| {
+            t.rebuild(
+                &self.mesh,
+                &self.pattern,
+                &self.rings,
+                &pattern,
+                &rings,
+                &labeling,
+            )
+        });
         RoutingContext {
             mesh: self.mesh.clone(),
             pattern,
             rings,
             labeling,
+            table,
         }
     }
 
@@ -68,31 +109,66 @@ impl RoutingContext {
         &self.labeling
     }
 
+    /// The precomputed geometry table, if this context carries one.
+    #[inline]
+    pub fn table(&self) -> Option<&GeometryTable> {
+        self.table.as_ref()
+    }
+
+    /// Context generation: 0 for a fresh context, +1 per
+    /// [`RoutingContext::with_pattern`] derivation. Always 0 for table-less
+    /// contexts.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.table.as_ref().map_or(0, |t| t.epoch())
+    }
+
     /// Minimal directions from `node` toward `dest` whose next node is
     /// fault-free (the paper's "fault-free link along the shortest path").
+    #[inline]
     pub fn healthy_minimal_directions(&self, node: NodeId, dest: NodeId) -> DirectionSet {
-        self.mesh
-            .minimal_directions(node, dest)
-            .iter()
-            .filter(|&d| {
-                self.mesh
-                    .neighbor(node, d)
-                    .is_some_and(|v| !self.pattern.is_faulty(v))
-            })
-            .collect()
+        match &self.table {
+            Some(t) => t.pair(node, dest).healthy_minimal,
+            None => table::compute_healthy_minimal(&self.mesh, &self.pattern, node, dest),
+        }
     }
 
     /// Whether a message at `node` heading to `dest` is *blocked by faults*:
     /// it is not at its destination and every minimal-progress neighbor is
     /// faulty (paper §3).
+    #[inline]
     pub fn blocked_by_fault(&self, node: NodeId, dest: NodeId) -> bool {
-        node != dest
-            && !self.mesh.minimal_directions(node, dest).is_empty()
-            && self.healthy_minimal_directions(node, dest).is_empty()
+        match &self.table {
+            Some(t) => t.pair(node, dest).blocked,
+            None => table::compute_blocked(&self.mesh, &self.pattern, node, dest),
+        }
+    }
+
+    /// The complete Boppana–Chalasani ring-entry state for a message
+    /// blocked at `node` bound for `dest` (blocking region, ring position,
+    /// orientation, message type, entry distance). `None` when the pair is
+    /// not blocked.
+    #[inline]
+    pub fn ring_entry(&self, node: NodeId, dest: NodeId) -> Option<RingState> {
+        match &self.table {
+            Some(t) => t.ring_entry(node, dest),
+            None => table::compute_ring_entry(&self.mesh, &self.pattern, &self.rings, node, dest),
+        }
+    }
+
+    /// Directions from `node` whose neighbor is fault-free and safe under
+    /// the Boura–Das labeling.
+    #[inline]
+    pub fn safe_directions(&self, node: NodeId) -> DirectionSet {
+        match &self.table {
+            Some(t) => t.safe_dirs(node),
+            None => table::compute_safe_dirs(&self.mesh, &self.pattern, &self.labeling, node),
+        }
     }
 
     /// Whether moving from `node` in `dir` stays in-mesh and lands on a
     /// fault-free node.
+    #[inline]
     pub fn healthy_step(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
         self.mesh
             .neighbor(node, dir)
@@ -114,6 +190,8 @@ mod tests {
         assert_eq!(ctx.healthy_minimal_directions(a, b).len(), 2);
         assert!(!ctx.blocked_by_fault(a, b));
         assert_eq!(ctx.rings().rings().len(), 0);
+        assert!(ctx.table().is_some());
+        assert_eq!(ctx.epoch(), 0);
     }
 
     #[test]

@@ -1,0 +1,592 @@
+//! Precomputed route-geometry tables — the routing fast path.
+//!
+//! Every quantity a routing decision needs that is a pure function of
+//! *(node, dest, fault pattern)* is computed once per [`GeometryTable`]
+//! build and then served as an indexed lookup:
+//!
+//! - per **(node, dest)** pair: the healthy-minimal direction set, the
+//!   blocked-by-fault flag, and — for blocked pairs — the complete
+//!   Boppana–Chalasani ring-entry state ([`RingState`]: blocking region,
+//!   ring position, traversal orientation, message type, entry distance).
+//!   The BC orientation choice walks the whole f-ring, which made entering
+//!   ring mode the most expensive single decision; with the table it is one
+//!   array read. The message type is itself a function of the pair, so the
+//!   conceptual (node, dest, type) index collapses to (node, dest).
+//! - per **node**: the healthy direction set and the safe-labeled direction
+//!   set (Boura fault-tolerant tiering).
+//!
+//! What stays in the algorithms is the *dynamic* part — VC-class mask
+//! arithmetic (PHop/NHop ladders, bonus cards, Duato tiers) and the
+//! misroute-patience widening — which depends on per-message state and is
+//! pure integer arithmetic, already cheap.
+//!
+//! Tables carry a **context epoch**. [`GeometryTable::rebuild`] derives the
+//! next table after an online `FaultPattern::extend`, recomputing only the
+//! rows of *dirty* nodes: nodes whose own neighborhood was perturbed, nodes
+//! whose ring membership changed (including region-id shifts from the
+//! region re-sort), plus — via [`FRingSet::mark_touched_rings`] — every
+//! node of any ring containing such a seed, because ring-entry computation
+//! scans the entire ring. Per-node direction sets are recomputed
+//! unconditionally (labeling changes are global and the arrays are O(N)).
+//! `row_epoch` records when each node's rows were last recomputed, making
+//! the incremental behavior observable in tests.
+//!
+//! The free `compute_*` functions are the single source of truth: the
+//! table build calls them, and a table-less [`RoutingContext`] (see
+//! [`RoutingContext::new_direct`]) calls them per query — the
+//! table-equivalence property tests compare the two paths entry by entry.
+//!
+//! [`RoutingContext`]: crate::RoutingContext
+//! [`RoutingContext::new_direct`]: crate::RoutingContext::new_direct
+
+use crate::state::{MessageType, RingState};
+use wormsim_fault::{FRingSet, FaultPattern, NodeLabeling, Orientation};
+use wormsim_topology::{Coord, DirectionSet, Mesh, NodeId, Rect, ALL_DIRECTIONS};
+
+/// The per-(node, dest) slice of the geometry table.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PairEntry {
+    /// Minimal directions toward the destination whose next node is
+    /// fault-free.
+    pub healthy_minimal: DirectionSet,
+    /// Whether a message at this node bound for this destination is blocked
+    /// by faults (paper §3: minimal progress exists but no healthy link).
+    pub blocked: bool,
+}
+
+/// Dense per-context routing geometry (see the module docs).
+#[derive(Clone, Debug)]
+pub struct GeometryTable {
+    /// Number of mesh nodes (row stride).
+    n: usize,
+    /// `pair[node * n + dest]`.
+    pair: Vec<PairEntry>,
+    /// `ring_entry[node * n + dest]`; `Some` exactly when the pair is
+    /// blocked and the node sits on the blocking region's f-ring.
+    ring_entry: Vec<Option<RingState>>,
+    /// Per node: directions whose neighbor exists and is fault-free.
+    healthy_dirs: Vec<DirectionSet>,
+    /// Per node: directions whose neighbor exists, is fault-free, and is
+    /// safe under the Boura–Das labeling.
+    safe_dirs: Vec<DirectionSet>,
+    /// Per node: epoch at which this node's pair rows were last recomputed.
+    row_epoch: Vec<u64>,
+    /// Context generation: 0 for a fresh build, +1 per incremental rebuild.
+    epoch: u64,
+}
+
+impl GeometryTable {
+    /// Build the full table for a context (epoch 0).
+    pub fn build(
+        mesh: &Mesh,
+        pattern: &FaultPattern,
+        rings: &FRingSet,
+        labeling: &NodeLabeling,
+    ) -> Self {
+        let n = mesh.num_nodes();
+        let mut t = GeometryTable {
+            n,
+            pair: vec![PairEntry::default(); n * n],
+            ring_entry: vec![None; n * n],
+            healthy_dirs: vec![DirectionSet::empty(); n],
+            safe_dirs: vec![DirectionSet::empty(); n],
+            row_epoch: vec![0; n],
+            epoch: 0,
+        };
+        for node in mesh.nodes() {
+            t.recompute_row(node, mesh, pattern, rings);
+        }
+        t.recompute_node_dirs(mesh, pattern, labeling);
+        t
+    }
+
+    /// Derive the table for an extended pattern, recomputing only dirty
+    /// rows (see the module docs for the invalidation rules). `old_*` is
+    /// the generation this table was built against.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rebuild(
+        &self,
+        mesh: &Mesh,
+        old_pattern: &FaultPattern,
+        old_rings: &FRingSet,
+        new_pattern: &FaultPattern,
+        new_rings: &FRingSet,
+        new_labeling: &NodeLabeling,
+    ) -> Self {
+        let n = self.n;
+        let mut seeds = vec![false; n];
+        for node in mesh.nodes() {
+            let perturbed = |v: NodeId| old_pattern.is_faulty(v) != new_pattern.is_faulty(v);
+            seeds[node.index()] = perturbed(node)
+                || ALL_DIRECTIONS
+                    .iter()
+                    .any(|&d| mesh.neighbor(node, d).is_some_and(perturbed))
+                || new_rings.membership_changed(old_rings, node);
+        }
+        // Any region whose rectangle is not identical at the same index in
+        // both generations seeds its entire ring (both generations): its
+        // walk, side predicate, or identity changed.
+        mark_changed_regions(old_pattern, old_rings, new_pattern, new_rings, &mut seeds);
+        // Ring-entry state scans whole rings, so a seed anywhere on a ring
+        // dirties all of it. Single pass; marks never cascade.
+        let mut dirty = seeds.clone();
+        old_rings.mark_touched_rings(&seeds, &mut dirty);
+        new_rings.mark_touched_rings(&seeds, &mut dirty);
+
+        let mut t = self.clone();
+        t.epoch = self.epoch + 1;
+        for node in mesh.nodes() {
+            if dirty[node.index()] {
+                t.recompute_row(node, mesh, new_pattern, new_rings);
+                t.row_epoch[node.index()] = t.epoch;
+            }
+        }
+        t.recompute_node_dirs(mesh, new_pattern, new_labeling);
+        t
+    }
+
+    fn recompute_row(
+        &mut self,
+        node: NodeId,
+        mesh: &Mesh,
+        pattern: &FaultPattern,
+        rings: &FRingSet,
+    ) {
+        let base = node.index() * self.n;
+        for dest in mesh.nodes() {
+            let healthy_minimal = compute_healthy_minimal(mesh, pattern, node, dest);
+            let blocked = compute_blocked(mesh, pattern, node, dest);
+            self.pair[base + dest.index()] = PairEntry {
+                healthy_minimal,
+                blocked,
+            };
+            self.ring_entry[base + dest.index()] = if blocked {
+                compute_ring_entry(mesh, pattern, rings, node, dest)
+            } else {
+                None
+            };
+        }
+    }
+
+    fn recompute_node_dirs(
+        &mut self,
+        mesh: &Mesh,
+        pattern: &FaultPattern,
+        labeling: &NodeLabeling,
+    ) {
+        for node in mesh.nodes() {
+            self.healthy_dirs[node.index()] = compute_healthy_dirs(mesh, pattern, node);
+            self.safe_dirs[node.index()] = compute_safe_dirs(mesh, pattern, labeling, node);
+        }
+    }
+
+    /// The (node, dest) entry.
+    #[inline]
+    pub fn pair(&self, node: NodeId, dest: NodeId) -> PairEntry {
+        self.pair[node.index() * self.n + dest.index()]
+    }
+
+    /// The precomputed ring-entry state for a blocked (node, dest) pair.
+    #[inline]
+    pub fn ring_entry(&self, node: NodeId, dest: NodeId) -> Option<RingState> {
+        self.ring_entry[node.index() * self.n + dest.index()]
+    }
+
+    /// Directions from `node` with an in-mesh, fault-free neighbor.
+    #[inline]
+    pub fn healthy_dirs(&self, node: NodeId) -> DirectionSet {
+        self.healthy_dirs[node.index()]
+    }
+
+    /// Directions from `node` whose neighbor is fault-free and safe-labeled.
+    #[inline]
+    pub fn safe_dirs(&self, node: NodeId) -> DirectionSet {
+        self.safe_dirs[node.index()]
+    }
+
+    /// The context generation this table reflects.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Epoch at which `node`'s pair rows were last recomputed (≤
+    /// [`GeometryTable::epoch`]; strictly less for rows untouched by the
+    /// latest rebuild).
+    #[inline]
+    pub fn row_epoch(&self, node: NodeId) -> u64 {
+        self.row_epoch[node.index()]
+    }
+}
+
+/// Seed-dirty every node of every ring whose region rectangle is not
+/// present *identically at the same index* in both pattern generations.
+/// Comparing by index (region ids are sort positions) also catches pure
+/// re-numbering, where an unchanged rectangle ends up with a new id.
+fn mark_changed_regions(
+    old_pattern: &FaultPattern,
+    old_rings: &FRingSet,
+    new_pattern: &FaultPattern,
+    new_rings: &FRingSet,
+    seeds: &mut [bool],
+) {
+    let (old_r, new_r) = (old_pattern.regions(), new_pattern.regions());
+    let common = old_r.len().min(new_r.len());
+    let mut mark_ring = |rings: &FRingSet, r: usize| {
+        for &v in rings.ring(r).nodes() {
+            seeds[v.index()] = true;
+        }
+    };
+    for r in 0..common {
+        if old_r[r] != new_r[r] {
+            mark_ring(old_rings, r);
+            mark_ring(new_rings, r);
+        }
+    }
+    for r in common..old_r.len() {
+        mark_ring(old_rings, r);
+    }
+    for r in common..new_r.len() {
+        mark_ring(new_rings, r);
+    }
+}
+
+/// Minimal directions from `node` toward `dest` whose next node is
+/// fault-free.
+pub(crate) fn compute_healthy_minimal(
+    mesh: &Mesh,
+    pattern: &FaultPattern,
+    node: NodeId,
+    dest: NodeId,
+) -> DirectionSet {
+    mesh.minimal_directions(node, dest)
+        .iter()
+        .filter(|&d| {
+            mesh.neighbor(node, d)
+                .is_some_and(|v| !pattern.is_faulty(v))
+        })
+        .collect()
+}
+
+/// Whether a message at `node` heading to `dest` is blocked by faults.
+pub(crate) fn compute_blocked(
+    mesh: &Mesh,
+    pattern: &FaultPattern,
+    node: NodeId,
+    dest: NodeId,
+) -> bool {
+    node != dest
+        && !mesh.minimal_directions(node, dest).is_empty()
+        && compute_healthy_minimal(mesh, pattern, node, dest).is_empty()
+}
+
+/// Directions from `node` with an in-mesh, fault-free neighbor.
+pub(crate) fn compute_healthy_dirs(
+    mesh: &Mesh,
+    pattern: &FaultPattern,
+    node: NodeId,
+) -> DirectionSet {
+    ALL_DIRECTIONS
+        .into_iter()
+        .filter(|&d| {
+            mesh.neighbor(node, d)
+                .is_some_and(|v| !pattern.is_faulty(v))
+        })
+        .collect()
+}
+
+/// Directions from `node` whose neighbor is fault-free **and** safe under
+/// the Boura–Das labeling.
+pub(crate) fn compute_safe_dirs(
+    mesh: &Mesh,
+    pattern: &FaultPattern,
+    labeling: &NodeLabeling,
+    node: NodeId,
+) -> DirectionSet {
+    ALL_DIRECTIONS
+        .into_iter()
+        .filter(|&d| {
+            mesh.neighbor(node, d)
+                .is_some_and(|v| !pattern.is_faulty(v) && labeling.is_safe(v))
+        })
+        .collect()
+}
+
+/// Which side of a fault region the BC detour should pass.
+#[derive(Clone, Copy)]
+enum Side {
+    North,
+    South,
+    East,
+    West,
+}
+
+#[inline]
+fn on_side(c: Coord, rect: &Rect, side: Side) -> bool {
+    match side {
+        Side::North => c.y > rect.max.y,
+        Side::South => c.y < rect.min.y,
+        Side::East => c.x > rect.max.x,
+        Side::West => c.x < rect.min.x,
+    }
+}
+
+/// Whether a ring node offers an exit for a message to `dest` that entered
+/// the ring at `entry_distance`: the destination itself, or strictly closer
+/// than the entry point with healthy minimal progress available.
+fn compute_is_exit(
+    mesh: &Mesh,
+    pattern: &FaultPattern,
+    node: NodeId,
+    dest: NodeId,
+    entry_distance: u32,
+) -> bool {
+    node == dest
+        || (mesh.distance(node, dest) < entry_distance
+            && !compute_healthy_minimal(mesh, pattern, node, dest).is_empty())
+}
+
+/// The complete BC ring-entry state for a message blocked at `node` bound
+/// for `dest`: the blocking region, the node's position on its f-ring, the
+/// message type, the entry distance, and the traversal orientation chosen
+/// by the geometric side rule (nearer side in ring steps, clockwise on
+/// ties, nearest-usable-exit fallback on boundary chains). `None` when the
+/// pair is not actually blocked or the node is not on the blocking ring
+/// (never the case for reachable simulation states).
+pub(crate) fn compute_ring_entry(
+    mesh: &Mesh,
+    pattern: &FaultPattern,
+    rings: &FRingSet,
+    node: NodeId,
+    dest: NodeId,
+) -> Option<RingState> {
+    if !compute_blocked(mesh, pattern, node, dest) {
+        return None;
+    }
+    // The blocking region: any minimal direction leads into a fault.
+    let blocking = mesh.minimal_directions(node, dest).iter().find_map(|d| {
+        let v = mesh.neighbor(node, d)?;
+        pattern.is_faulty(v).then(|| pattern.region_of(v))?
+    })?;
+    let pos = rings.position_on(node, blocking)?;
+    let (c, d) = (mesh.coord(node), mesh.coord(dest));
+    let mtype = MessageType::classify((c.x, c.y), (d.x, d.y));
+    let entry_distance = mesh.distance(node, dest);
+    let orient = choose_orientation(
+        mesh,
+        pattern,
+        rings,
+        blocking,
+        pos.pos,
+        dest,
+        entry_distance,
+        mtype,
+        c,
+        d,
+    );
+    Some(RingState {
+        ring: blocking,
+        pos: pos.pos,
+        orient,
+        mtype,
+        entry_distance,
+    })
+}
+
+/// Pick the traversal orientation per the BC geometric rule: a row message
+/// (WE/EW) goes around the side of the region its destination row lies on
+/// (north/south), a column message around the east/west side its
+/// destination column lies on. The choice depends only on geometry — never
+/// on congestion — so all same-type messages bound for the same side rotate
+/// the same way and their ring arcs stay within disjoint halves; this is
+/// what keeps the single shared per-type BC VC deadlock-free (head-on
+/// cycles cannot form).
+#[allow(clippy::too_many_arguments)]
+fn choose_orientation(
+    mesh: &Mesh,
+    pattern: &FaultPattern,
+    rings: &FRingSet,
+    ring_id: usize,
+    pos: u16,
+    dest: NodeId,
+    entry_distance: u32,
+    mtype: MessageType,
+    c: Coord,
+    d: Coord,
+) -> Orientation {
+    let rect = pattern.regions()[ring_id];
+    // Which side of the region should the detour pass?
+    let side = match mtype {
+        MessageType::WE | MessageType::EW => {
+            if d.y >= c.y {
+                Side::North
+            } else {
+                Side::South
+            }
+        }
+        MessageType::SN | MessageType::NS => {
+            if d.x >= c.x {
+                Side::East
+            } else {
+                Side::West
+            }
+        }
+    };
+    let ring = rings.ring(ring_id);
+    // Steps to reach the wanted side in each rotation (chain ends make a
+    // rotation unusable).
+    let cost = |orient: Orientation| -> u32 {
+        let mut p = pos;
+        for step in 1..=ring.len() as u32 {
+            match ring.next(p, orient) {
+                None => return u32::MAX,
+                Some((n, np)) => {
+                    if on_side(mesh.coord(n), &rect, side) {
+                        return step;
+                    }
+                    p = np;
+                }
+            }
+        }
+        u32::MAX
+    };
+    let (cw, ccw) = (
+        cost(Orientation::Clockwise),
+        cost(Orientation::Counterclockwise),
+    );
+    if cw != ccw {
+        return if ccw < cw {
+            Orientation::Counterclockwise
+        } else {
+            Orientation::Clockwise
+        };
+    }
+    if cw != u32::MAX {
+        return Orientation::Clockwise;
+    }
+    // Wanted side unreachable in either rotation (boundary chain): fall
+    // back to the nearer usable exit.
+    let exit_cost = |orient: Orientation| -> u32 {
+        let mut p = pos;
+        for step in 1..=ring.len() as u32 {
+            match ring.next(p, orient) {
+                None => return u32::MAX,
+                Some((n, np)) => {
+                    if compute_is_exit(mesh, pattern, n, dest, entry_distance) {
+                        return step;
+                    }
+                    p = np;
+                }
+            }
+        }
+        u32::MAX
+    };
+    if exit_cost(Orientation::Counterclockwise) < exit_cost(Orientation::Clockwise) {
+        Orientation::Counterclockwise
+    } else {
+        Orientation::Clockwise
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RoutingContext;
+    use wormsim_topology::Direction;
+
+    fn ctx_pair(pattern_coords: &[Coord]) -> (RoutingContext, RoutingContext) {
+        let mesh = Mesh::square(10);
+        let pattern = if pattern_coords.is_empty() {
+            FaultPattern::fault_free(&mesh)
+        } else {
+            FaultPattern::from_faulty_coords(&mesh, pattern_coords.iter().copied()).unwrap()
+        };
+        (
+            RoutingContext::new(mesh.clone(), pattern.clone()),
+            RoutingContext::new_direct(mesh, pattern),
+        )
+    }
+
+    #[test]
+    fn table_matches_direct_queries() {
+        let (tabled, direct) = ctx_pair(&[Coord::new(4, 4), Coord::new(4, 5), Coord::new(8, 1)]);
+        let mesh = tabled.mesh().clone();
+        for node in mesh.nodes() {
+            for dest in mesh.nodes() {
+                assert_eq!(
+                    tabled.healthy_minimal_directions(node, dest),
+                    direct.healthy_minimal_directions(node, dest),
+                );
+                assert_eq!(
+                    tabled.blocked_by_fault(node, dest),
+                    direct.blocked_by_fault(node, dest),
+                );
+                assert_eq!(tabled.ring_entry(node, dest), direct.ring_entry(node, dest));
+            }
+            assert_eq!(tabled.safe_directions(node), direct.safe_directions(node));
+        }
+    }
+
+    #[test]
+    fn blocked_pairs_have_ring_entries() {
+        let (tabled, _) = ctx_pair(&[Coord::new(5, 5)]);
+        let mesh = tabled.mesh().clone();
+        let (node, dest) = (mesh.node(4, 5), mesh.node(9, 5));
+        assert!(tabled.blocked_by_fault(node, dest));
+        let rs = tabled.ring_entry(node, dest).unwrap();
+        assert_eq!(rs.mtype, MessageType::WE);
+        assert_eq!(rs.entry_distance, 5);
+        assert_eq!(
+            tabled.rings().ring(rs.ring).nodes()[rs.pos as usize],
+            node,
+            "stored ring position must locate the node"
+        );
+        // Unblocked pair → no entry.
+        assert!(tabled.ring_entry(mesh.node(0, 0), dest).is_none());
+    }
+
+    #[test]
+    fn incremental_rebuild_matches_fresh_and_keeps_far_rows() {
+        let mesh = Mesh::square(10);
+        let base = FaultPattern::from_faulty_coords(&mesh, [Coord::new(2, 2)]).unwrap();
+        let ctx = RoutingContext::new(mesh.clone(), base.clone());
+        assert_eq!(ctx.epoch(), 0);
+        let ext = base.extend(&mesh, [Coord::new(7, 7)]).unwrap();
+        let derived = ctx.with_pattern(ext.clone());
+        let fresh = RoutingContext::new(mesh.clone(), ext);
+        assert_eq!(derived.epoch(), 1);
+        for node in mesh.nodes() {
+            for dest in mesh.nodes() {
+                assert_eq!(
+                    derived.healthy_minimal_directions(node, dest),
+                    fresh.healthy_minimal_directions(node, dest),
+                );
+                assert_eq!(derived.ring_entry(node, dest), fresh.ring_entry(node, dest));
+            }
+        }
+        let t = derived.table().unwrap();
+        // Rows near the new fault were recomputed at epoch 1; far rows kept
+        // their epoch-0 stamp — the rebuild really is incremental.
+        assert_eq!(t.row_epoch(mesh.node(7, 8)), 1);
+        assert_eq!(t.row_epoch(mesh.node(0, 9)), 0);
+        assert_eq!(t.row_epoch(mesh.node(2, 3)), 0, "untouched old ring stays");
+    }
+
+    #[test]
+    fn healthy_and_safe_dirs() {
+        let (tabled, _) = ctx_pair(&[Coord::new(5, 5)]);
+        let mesh = tabled.mesh().clone();
+        let t = tabled.table().unwrap();
+        let hd = t.healthy_dirs(mesh.node(4, 5));
+        assert!(!hd.contains(Direction::East), "east neighbor is faulty");
+        assert!(hd.contains(Direction::West));
+        // Corner node: only in-mesh dirs.
+        let hd = t.healthy_dirs(mesh.node(0, 0));
+        assert_eq!(hd.len(), 2);
+        // With a single convex fault every healthy node is safe, so
+        // safe_dirs == healthy_dirs everywhere.
+        for node in mesh.nodes() {
+            assert_eq!(t.safe_dirs(node), t.healthy_dirs(node));
+        }
+    }
+}

@@ -49,6 +49,17 @@ pub trait RoutingAlgorithm: Send + Sync {
         false
     }
 
+    /// A blocked header's candidate set is stable between hops (`route` is
+    /// idempotent), so the engine re-arbitrates it only when a VC it can
+    /// use frees. If the set can additionally *widen* once
+    /// `MessageState::wait_cycles` reaches a threshold (Fully-Adaptive's
+    /// misroute patience), return that threshold so the engine forces one
+    /// re-route at exactly that point. Default: the set never widens while
+    /// blocked.
+    fn recheck_wait(&self) -> Option<u32> {
+        None
+    }
+
     /// The routing context this instance is bound to.
     fn context(&self) -> &RoutingContext;
 }
@@ -86,6 +97,12 @@ pub trait BaseRouting: Send + Sync {
 
     /// Whether the base discipline is provably deadlock-free.
     fn is_deadlock_free(&self) -> bool;
+
+    /// Base-discipline counterpart of
+    /// [`RoutingAlgorithm::recheck_wait`]; wrappers delegate to it.
+    fn recheck_wait(&self) -> Option<u32> {
+        None
+    }
 
     /// The bound routing context.
     fn context(&self) -> &RoutingContext;
@@ -205,6 +222,10 @@ impl RoutingAlgorithm for Plain {
 
     fn is_deadlock_free(&self) -> bool {
         self.base.is_deadlock_free()
+    }
+
+    fn recheck_wait(&self) -> Option<u32> {
+        self.base.recheck_wait()
     }
 
     fn context(&self) -> &RoutingContext {

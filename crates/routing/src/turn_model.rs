@@ -15,7 +15,7 @@ use crate::context::RoutingContext;
 use crate::state::{Candidates, MessageState, VcMask};
 use crate::traits::BaseRouting;
 use std::sync::Arc;
-use wormsim_topology::{Direction, NodeId};
+use wormsim_topology::{Direction, DirectionSet, NodeId};
 
 /// Deterministic dimension-order (XY) routing.
 pub struct DimensionOrder {
@@ -126,35 +126,35 @@ impl TurnModel {
     }
 
     /// The minimal directions the turn model permits at this step.
-    fn allowed_directions(&self, node: NodeId, dest: NodeId) -> Vec<Direction> {
+    fn allowed_directions(&self, node: NodeId, dest: NodeId) -> DirectionSet {
         let minimal = self.ctx.mesh().minimal_directions(node, dest);
         match self.kind {
             TurnModelKind::WestFirst => {
                 // Any westward progress must be completed before turning.
                 if minimal.contains(Direction::West) {
-                    vec![Direction::West]
+                    let mut west = DirectionSet::empty();
+                    west.insert(Direction::West);
+                    west
                 } else {
-                    minimal.iter().collect()
+                    minimal
                 }
             }
             TurnModelKind::NorthLast => {
                 // North only when it is the sole productive direction
                 // (turning out of north is forbidden, so enter it last).
-                let non_north: Vec<Direction> =
-                    minimal.iter().filter(|&d| d != Direction::North).collect();
+                let mut non_north = minimal;
+                non_north.remove(Direction::North);
                 if non_north.is_empty() {
-                    minimal.iter().collect()
+                    minimal
                 } else {
                     non_north
                 }
             }
             TurnModelKind::NegativeFirst => {
-                let negative: Vec<Direction> = minimal
-                    .iter()
-                    .filter(|&d| matches!(d, Direction::West | Direction::South))
-                    .collect();
+                let negative =
+                    minimal.intersect([Direction::West, Direction::South].into_iter().collect());
                 if negative.is_empty() {
-                    minimal.iter().collect()
+                    minimal
                 } else {
                     negative
                 }
@@ -179,7 +179,7 @@ impl BaseRouting for TurnModel {
     fn candidates(&self, node: NodeId, st: &mut MessageState) -> Candidates {
         let mask = VcMask::range(0, self.vcs - 1);
         let mut out = Candidates::none();
-        for dir in self.allowed_directions(node, st.dest) {
+        for dir in self.allowed_directions(node, st.dest).iter() {
             out.push_simple(dir, mask);
         }
         out

@@ -206,6 +206,18 @@ impl DirectionSet {
         self.0 == 0
     }
 
+    /// Set intersection.
+    #[inline]
+    pub const fn intersect(self, other: DirectionSet) -> DirectionSet {
+        DirectionSet(self.0 & other.0)
+    }
+
+    /// Set union.
+    #[inline]
+    pub const fn union(self, other: DirectionSet) -> DirectionSet {
+        DirectionSet(self.0 | other.0)
+    }
+
     /// Iterate over members in discriminant order.
     #[inline]
     pub fn iter(self) -> impl Iterator<Item = Direction> {
@@ -310,6 +322,20 @@ mod tests {
         let collected: Vec<_> = s.iter().collect();
         assert_eq!(collected, vec![Direction::South]);
         assert_eq!(DirectionSet::all().len(), 4);
+    }
+
+    #[test]
+    fn direction_set_algebra() {
+        let ew: DirectionSet = [Direction::East, Direction::West].into_iter().collect();
+        let wn: DirectionSet = [Direction::West, Direction::North].into_iter().collect();
+        let both = ew.intersect(wn);
+        assert_eq!(both.len(), 1);
+        assert!(both.contains(Direction::West));
+        let either = ew.union(wn);
+        assert_eq!(either.len(), 3);
+        assert!(!either.contains(Direction::South));
+        assert_eq!(ew.intersect(DirectionSet::empty()), DirectionSet::empty());
+        assert_eq!(ew.union(DirectionSet::empty()), ew);
     }
 
     #[test]

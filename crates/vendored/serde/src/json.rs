@@ -66,6 +66,23 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup by key. `None` for missing keys and
+    /// non-objects (mirrors real serde_json's `Value::get`).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
 }
 
 /// Parse a JSON document. Rejects trailing non-whitespace.
