@@ -36,7 +36,7 @@ pub use driver::ChaosDriver;
 pub use schedule::{FaultEvent, FaultSchedule, ScheduleError};
 
 use std::sync::Arc;
-use wormsim_engine::{SimConfig, Simulator};
+use wormsim_engine::{NullSink, SimConfig, Simulator, Sink};
 use wormsim_fault::FaultPattern;
 use wormsim_metrics::SimReport;
 use wormsim_routing::{build_algorithm, AlgorithmKind, RoutingContext, VcConfig};
@@ -58,12 +58,32 @@ pub fn run_chaos(
     workload: Workload,
     cfg: SimConfig,
 ) -> Result<SimReport, ScheduleError> {
+    run_chaos_with_sink(mesh, base, schedule, kind, vc, workload, cfg, NullSink)
+        .map(|(report, _)| report)
+}
+
+/// [`run_chaos`] with a trace [`Sink`] attached: the run emits flit-level
+/// [`wormsim_engine::TraceEvent`]s into `sink` and hands it back alongside
+/// the report. Tracing is observational — the report is byte-identical to
+/// the sink-less run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_chaos_with_sink<S: Sink>(
+    mesh: Mesh,
+    base: FaultPattern,
+    schedule: &FaultSchedule,
+    kind: AlgorithmKind,
+    vc: VcConfig,
+    workload: Workload,
+    cfg: SimConfig,
+    sink: S,
+) -> Result<(SimReport, S), ScheduleError> {
     let ctx = Arc::new(RoutingContext::new(mesh, base));
     let driver = ChaosDriver::new(schedule, ctx.clone(), kind, vc)?;
     let algo = build_algorithm(kind, ctx.clone(), vc);
-    let mut sim = Simulator::new(algo, ctx, workload, cfg);
+    let mut sim = Simulator::with_sink(algo, ctx, workload, cfg, sink);
     sim.install_fault_driver(Box::new(driver));
-    Ok(sim.run())
+    let report = sim.run();
+    Ok((report, sim.into_sink()))
 }
 
 #[cfg(test)]
@@ -107,6 +127,57 @@ mod tests {
         assert_eq!(rec.events()[0].cycle, 300);
         assert_eq!(rec.events()[1].cycle, 900);
         assert!(rec.events().iter().all(|e| e.newly_faulty >= 1));
+    }
+
+    #[test]
+    fn traced_chaos_run_matches_untraced_and_sees_the_fault() {
+        use wormsim_engine::{EventKind, VecSink};
+        let mesh = Mesh::square(8);
+        let base = FaultPattern::fault_free(&mesh);
+        let schedule = FaultSchedule::new(
+            &mesh,
+            &base,
+            vec![FaultEvent {
+                cycle: 500,
+                coords: vec![Coord::new(4, 4)],
+            }],
+        )
+        .unwrap();
+        let run = |mesh: Mesh| {
+            run_chaos(
+                mesh,
+                FaultPattern::fault_free(&Mesh::square(8)),
+                &schedule,
+                AlgorithmKind::Duato,
+                VcConfig::paper(),
+                Workload::paper_uniform(0.004),
+                SimConfig::quick().with_seed(3),
+            )
+            .unwrap()
+        };
+        let untraced = serde_json::to_string(&run(mesh.clone())).unwrap();
+        let (report, sink) = run_chaos_with_sink(
+            mesh,
+            base,
+            &schedule,
+            AlgorithmKind::Duato,
+            VcConfig::paper(),
+            Workload::paper_uniform(0.004),
+            SimConfig::quick().with_seed(3),
+            VecSink::new(),
+        )
+        .unwrap();
+        assert_eq!(
+            untraced,
+            serde_json::to_string(&report).unwrap(),
+            "tracing perturbed the chaos run"
+        );
+        let events = sink.events();
+        assert!(!events.is_empty());
+        // The mid-run fault must leave a visible trace: either aborts (a
+        // worm crossed the dying node) or at minimum ordinary traffic.
+        assert!(events.iter().any(|e| e.kind == EventKind::Inject));
+        assert!(events.iter().any(|e| e.kind == EventKind::Deliver));
     }
 
     #[test]

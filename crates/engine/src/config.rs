@@ -44,6 +44,10 @@ pub struct SimConfig {
     /// Width (cycles) of the sliding delivered-rate window used for the
     /// post-fault settling-time metric.
     pub settle_window: u64,
+    /// Width (cycles) of the per-window cycle-telemetry aggregation; `0`
+    /// disables telemetry entirely (the report's `telemetry` field stays
+    /// `None` and off the wire, preserving report byte-identity).
+    pub telemetry_window: u64,
 }
 
 impl SimConfig {
@@ -61,6 +65,7 @@ impl SimConfig {
             recovery_backoff_base: 16,
             recovery_backoff_cap: 6,
             settle_window: 500,
+            telemetry_window: 0,
         }
     }
 
@@ -95,6 +100,12 @@ impl SimConfig {
         self.debug_watchdog = on;
         self
     }
+
+    /// Builder-style telemetry-window override (`0` disables telemetry).
+    pub fn with_telemetry_window(mut self, window: u64) -> Self {
+        self.telemetry_window = window;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -118,5 +129,16 @@ mod tests {
     fn debug_watchdog_flag() {
         assert!(!SimConfig::paper().debug_watchdog);
         assert!(SimConfig::paper().with_debug_watchdog(true).debug_watchdog);
+    }
+
+    #[test]
+    fn telemetry_defaults_off() {
+        assert_eq!(SimConfig::paper().telemetry_window, 0);
+        assert_eq!(
+            SimConfig::paper()
+                .with_telemetry_window(500)
+                .telemetry_window,
+            500
+        );
     }
 }

@@ -50,3 +50,9 @@ pub use config::{Arbitration, SimConfig};
 pub use fault_hook::{FaultActivation, FaultDriver};
 pub use message::MsgId;
 pub use simulator::Simulator;
+// Observability layer, re-exported so engine users can attach sinks and
+// consume stall diagnoses without naming `wormsim-obs` themselves.
+pub use wormsim_obs::{
+    ChromeTraceSink, EventKind, JsonlSink, NullSink, RingSink, Sink, StallDiagnosis, StallMessage,
+    TeeSink, TraceEvent, VecSink, WaitEdge,
+};

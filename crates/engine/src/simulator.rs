@@ -10,9 +10,10 @@ use rand::SeedableRng;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use wormsim_metrics::{
-    LatencyStats, NodeLoadStats, RecoveryStats, SimReport, ThroughputStats, VcUsageStats,
-    SETTLE_FRACTION,
+    LatencyStats, NodeLoadStats, RecoveryStats, SimReport, TelemetryCollector, ThroughputStats,
+    VcUsageStats, SETTLE_FRACTION,
 };
+use wormsim_obs::{EventKind, NullSink, Sink, StallDiagnosis, StallMessage, TraceEvent, WaitEdge};
 use wormsim_routing::{MessageState, RoutingAlgorithm, RoutingContext};
 use wormsim_topology::{ChannelId, NodeId};
 use wormsim_traffic::{DestinationSampler, Injector, Workload};
@@ -21,7 +22,14 @@ use wormsim_traffic::{DestinationSampler, Injector, Workload};
 /// a [`RoutingContext`], a [`Workload`], and a [`SimConfig`]; then either
 /// [`Simulator::run`] the full warm-up + measurement schedule or drive it
 /// manually with [`Simulator::step`] / [`Simulator::inject_message`].
-pub struct Simulator {
+///
+/// The simulator is generic over a trace [`Sink`]. The default
+/// [`NullSink`] has `Sink::ENABLED = false`, so every emit site — guarded
+/// by `if S::ENABLED` — constant-folds away: an untraced simulator pays
+/// nothing for the instrumentation, keeping the zero-allocation steady
+/// state and byte-identical reports. Attach a real sink with
+/// [`Simulator::with_sink`].
+pub struct Simulator<S: Sink = NullSink> {
     cfg: SimConfig,
     algo: Box<dyn RoutingAlgorithm>,
     ctx: Arc<RoutingContext>,
@@ -103,15 +111,47 @@ pub struct Simulator {
     window_sum: u64,
     /// Flits ejected this cycle (network-wide), feeding the window.
     delivered_this_cycle: u32,
+
+    /// Trace-event destination; [`NullSink`] by default (instrumentation
+    /// compiled out).
+    sink: S,
+    /// Per-window telemetry accumulator; `Some` iff
+    /// `cfg.telemetry_window > 0`.
+    telemetry: Option<TelemetryCollector>,
+    /// The most recent watchdog stall diagnosis (replaces the old raw
+    /// `eprintln!` dump; see [`Simulator::last_stall`]).
+    last_stall: Option<StallDiagnosis>,
+    /// Messages promoted queue → injection port this cycle.
+    injected_this_cycle: u64,
+    /// Blocked-header wait cycles accounted this cycle.
+    blocked_this_cycle: u64,
+    /// Messages fully delivered this cycle.
+    completed_this_cycle: u64,
 }
 
 impl Simulator {
-    /// Build a simulator. The algorithm must be bound to the same context.
+    /// Build an untraced simulator. The algorithm must be bound to the
+    /// same context.
     pub fn new(
         algo: Box<dyn RoutingAlgorithm>,
         ctx: Arc<RoutingContext>,
         workload: Workload,
         cfg: SimConfig,
+    ) -> Self {
+        Simulator::with_sink(algo, ctx, workload, cfg, NullSink)
+    }
+}
+
+impl<S: Sink> Simulator<S> {
+    /// Build a simulator emitting [`TraceEvent`]s to `sink`. Behavior is
+    /// byte-identical to [`Simulator::new`] — sinks observe, they never
+    /// perturb (no RNG draws happen on the emit paths).
+    pub fn with_sink(
+        algo: Box<dyn RoutingAlgorithm>,
+        ctx: Arc<RoutingContext>,
+        workload: Workload,
+        cfg: SimConfig,
+        sink: S,
     ) -> Self {
         let mesh = ctx.mesh();
         let num_nodes = mesh.num_nodes();
@@ -172,9 +212,46 @@ impl Simulator {
             delivered_window: VecDeque::new(),
             window_sum: 0,
             delivered_this_cycle: 0,
+            sink,
+            telemetry: if cfg.telemetry_window > 0 {
+                Some(TelemetryCollector::new(cfg.telemetry_window))
+            } else {
+                None
+            },
+            last_stall: None,
+            injected_this_cycle: 0,
+            blocked_this_cycle: 0,
+            completed_this_cycle: 0,
             cfg,
             ctx,
         }
+    }
+
+    /// The attached trace sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Mutable access to the attached trace sink.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Consume the simulator, returning the sink (to finish writers,
+    /// export traces, inspect recorded events).
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
+    /// The most recent watchdog stall diagnosis. Structured replacement
+    /// for the old stderr-only dump; with `cfg.debug_watchdog` the same
+    /// diagnosis is also printed. Captured only when a real sink is
+    /// attached or `debug_watchdog` is set — building the diagnosis
+    /// allocates, which the default `NullSink` fast path must not
+    /// ([`diagnose_stall`](Simulator::diagnose_stall) computes one on
+    /// demand regardless).
+    pub fn last_stall(&self) -> Option<&StallDiagnosis> {
+        self.last_stall.as_ref()
     }
 
     /// Install an online fault source. From the next [`Simulator::step`] on,
@@ -410,6 +487,7 @@ impl Simulator {
             in_flight_at_end: self.active.len() as u64,
             ring_load,
             recovery: self.recovery.clone(),
+            telemetry: self.telemetry.as_ref().map(|t| t.snapshot()),
         }
     }
 
@@ -588,6 +666,12 @@ impl Simulator {
                 if let Some(id) = self.queues[node].pop_front() {
                     self.injecting[node] = Some(id);
                     self.active.push(id);
+                    self.injected_this_cycle += 1;
+                    if S::ENABLED {
+                        self.sink.record(
+                            TraceEvent::new(self.cycle, EventKind::Inject, id).at(node as u16),
+                        );
+                    }
                     if oldest_first {
                         self.ordered_insert(id);
                     }
@@ -663,7 +747,26 @@ impl Simulator {
         if self.recovery.is_some() {
             self.update_delivery_window();
         }
+
+        // 9. Telemetry fold (before the per-cycle counters reset). The
+        // counters themselves are maintained unconditionally — plain adds,
+        // far cheaper than branching on them at every site.
+        if let Some(t) = self.telemetry.as_mut() {
+            let vc_held: u64 = self.vc_usage.held_counts().iter().sum();
+            t.record_cycle(
+                self.cycle,
+                self.injected_this_cycle,
+                self.completed_this_cycle,
+                u64::from(self.delivered_this_cycle),
+                self.blocked_this_cycle,
+                vc_held,
+                self.ring_hops,
+            );
+        }
         self.delivered_this_cycle = 0;
+        self.injected_this_cycle = 0;
+        self.blocked_this_cycle = 0;
+        self.completed_this_cycle = 0;
 
         self.cycle += 1;
     }
@@ -762,6 +865,7 @@ impl Simulator {
                 // the wait counter ticking as that loop did.
                 if Some(m.state.wait_cycles) != self.recheck_wait {
                     self.msgs[id as usize].state.wait_cycles += 1;
+                    self.blocked_this_cycle += 1;
                     return;
                 }
             }
@@ -781,6 +885,10 @@ impl Simulator {
 
         let mut state = m.state;
         let cands = self.algo.route(head, &mut state);
+        if S::ENABLED {
+            self.sink
+                .record(TraceEvent::new(self.cycle, EventKind::RouteDecision, id).at(head.0));
+        }
         let mesh = self.ctx.mesh();
 
         // Gather free (channel, vc) pairs, preferred tier first, into the
@@ -837,6 +945,11 @@ impl Simulator {
             self.eligible_scratch = eligible;
             self.busy_scratch = busy;
             state.wait_cycles += 1;
+            self.blocked_this_cycle += 1;
+            if S::ENABLED {
+                self.sink
+                    .record(TraceEvent::new(self.cycle, EventKind::Block, id).at(head.0));
+            }
             let m = &mut self.msgs[id as usize];
             m.state = state;
             m.alloc = AllocPhase::Blocked;
@@ -854,6 +967,13 @@ impl Simulator {
         }
         self.slots[key as usize] = Some(id);
         self.vc_usage.acquire(vc);
+        if S::ENABLED {
+            self.sink.record(
+                TraceEvent::new(self.cycle, EventKind::VcAcquire, id)
+                    .at(head.0)
+                    .on(ch.0, vc),
+            );
+        }
         let m = &mut self.msgs[id as usize];
         m.state = state;
         m.alloc = AllocPhase::Moving;
@@ -888,6 +1008,9 @@ impl Simulator {
     /// dropped here, and a spurious wake of a recycled id merely costs one
     /// failed attempt (which draws no RNG).
     fn wake_waiters(&mut self, key: u32) {
+        let ch = key / self.num_vcs as u32;
+        let vc = (key % self.num_vcs as u32) as u8;
+        let cycle = self.cycle;
         let list = &mut self.waiters[key as usize];
         if list.is_empty() {
             return;
@@ -896,6 +1019,10 @@ impl Simulator {
             let wm = &mut self.msgs[wid as usize];
             if wm.alive && wm.alloc == AllocPhase::Blocked {
                 wm.alloc = AllocPhase::Contend;
+                if S::ENABLED {
+                    self.sink
+                        .record(TraceEvent::new(cycle, EventKind::Wake, wid).on(ch, vc));
+                }
             }
         }
         list.clear();
@@ -1083,6 +1210,11 @@ impl Simulator {
             }
             m.path.clear();
             m.alive = false;
+            self.completed_this_cycle += 1;
+            if S::ENABLED {
+                self.sink
+                    .record(TraceEvent::new(self.cycle, EventKind::Deliver, id).at(m.dest.0));
+            }
             self.total_misroutes += m.state.misroutes as u64;
             if let Some((ev, aborted_at)) = m.abort_tag.take() {
                 if let Some(rec) = self.recovery.as_mut() {
@@ -1347,6 +1479,10 @@ impl Simulator {
         if self.injecting[src.index()] == Some(id) {
             self.injecting[src.index()] = None;
         }
+        if S::ENABLED {
+            self.sink
+                .record(TraceEvent::new(self.cycle, EventKind::Abort, id).at(src.0));
+        }
         let state = self.algo.init_message(src, dest);
         let m = &mut self.msgs[id as usize];
         m.state = state;
@@ -1374,26 +1510,24 @@ impl Simulator {
             return;
         }
         self.recoveries += 1;
-        if self.cfg.debug_watchdog {
-            let m = &self.msgs[id as usize];
-            let mesh = self.ctx.mesh();
-            let head = self.head_node(m);
-            eprintln!(
-                "[watchdog c={}] msg {} {:?}->{:?} head={:?} at_src={} delivered={} hops={} ring={:?} path_vcs={:?}",
-                self.cycle,
-                id,
-                mesh.coord(m.src),
-                mesh.coord(m.dest),
-                mesh.coord(head),
-                m.at_source,
-                m.delivered,
-                m.state.hops,
-                m.state.ring.map(|r| r.ring),
-                m.path
-                    .iter()
-                    .map(|e| (self.key_channel(e.key), self.key_vc(e.key)))
-                    .collect::<Vec<_>>(),
-            );
+        // Structured stall forensics replace the old ad-hoc stderr dump:
+        // snapshot the blocked-message wait-for graph (the wake lists are
+        // exactly its edges) and name the deadlock cycle or congestion
+        // hotspot. The diagnosis is kept as a value so tests and tools can
+        // assert on the identified resource instead of scraping stderr.
+        // Building it allocates, so the untraced/undebugged fast path skips
+        // it to preserve the zero-allocation steady state.
+        if S::ENABLED || self.cfg.debug_watchdog {
+            let diag = self.diagnose_stall(Some(MsgId(id)));
+            if self.cfg.debug_watchdog {
+                eprint!("{diag}");
+            }
+            self.last_stall = Some(diag);
+        }
+        if S::ENABLED {
+            let head = self.head_node(&self.msgs[id as usize]).0;
+            self.sink
+                .record(TraceEvent::new(self.cycle, EventKind::Recover, id).at(head));
         }
         let src;
         let mut freed = std::mem::take(&mut self.freed_scratch);
@@ -1447,6 +1581,69 @@ impl Simulator {
                     self.ordered_insert(id);
                 }
             }
+        }
+    }
+
+    /// Snapshot the blocked-message wait-for graph into a structured
+    /// [`StallDiagnosis`]: one edge per (sleeping header, occupied
+    /// candidate slot) pair, plus the focus message's own situation.
+    /// Cheap relative to a recovery (it only scans non-empty wake lists),
+    /// and side-effect free — callable from tests at any cycle.
+    pub fn diagnose_stall(&self, focus: Option<MsgId>) -> StallDiagnosis {
+        let mut edges = Vec::new();
+        for (key, list) in self.waiters.iter().enumerate() {
+            if list.is_empty() {
+                continue;
+            }
+            let Some(holder) = self.slots[key] else {
+                // Freed but not yet drained: its sleepers are about to wake.
+                continue;
+            };
+            let channel = self.key_channel(key as u32).0;
+            let vc = self.key_vc(key as u32);
+            for &waiter in list {
+                let wm = &self.msgs[waiter as usize];
+                // Stale entries (moved on, died, recycled) are not waiting.
+                if wm.alive && wm.alloc == AllocPhase::Blocked {
+                    edges.push(WaitEdge {
+                        waiter,
+                        channel,
+                        vc,
+                        holder,
+                    });
+                }
+            }
+        }
+        let blocked = self
+            .active
+            .iter()
+            .filter(|&&id| {
+                let m = &self.msgs[id as usize];
+                m.alive && m.alloc == AllocPhase::Blocked
+            })
+            .count();
+        let focus = focus.map(|id| self.stall_message(id.0));
+        StallDiagnosis::build(self.cycle, focus, blocked, edges)
+    }
+
+    /// Snapshot one message's situation for a stall report.
+    fn stall_message(&self, id: u32) -> StallMessage {
+        let m = &self.msgs[id as usize];
+        let mesh = self.ctx.mesh();
+        let coord = |n: NodeId| {
+            let c = mesh.coord(n);
+            (c.x, c.y)
+        };
+        StallMessage {
+            id,
+            src: coord(m.src),
+            dest: coord(m.dest),
+            head: coord(self.head_node(m)),
+            at_source: m.path.is_empty(),
+            delivered: m.delivered,
+            wait_cycles: m.state.wait_cycles,
+            recoveries: m.recoveries,
+            holds: m.path.iter().map(|e| (e.ch, e.vc)).collect(),
         }
     }
 }
@@ -1925,5 +2122,199 @@ mod tests {
         assert!(sim.run_until_drained(2_000));
         // 5 messages × 20 flits through one injection port ≥ 100 cycles.
         assert!(sim.cycle() >= 100);
+    }
+
+    fn make_traced_sim(
+        kind: AlgorithmKind,
+        pattern: FaultPattern,
+        rate: f64,
+        cfg: SimConfig,
+    ) -> Simulator<wormsim_obs::VecSink> {
+        let mesh = Mesh::square(10);
+        let ctx = Arc::new(RoutingContext::new(mesh, pattern));
+        let algo = build_algorithm(kind, ctx.clone(), VcConfig::paper());
+        let mut wl = Workload::paper_uniform(rate);
+        wl.message_length = 20;
+        Simulator::with_sink(algo, ctx, wl, cfg, wormsim_obs::VecSink::new())
+    }
+
+    #[test]
+    fn traced_run_report_is_byte_identical_to_untraced() {
+        // The determinism contract behind zero-cost tracing: attaching a
+        // sink observes the run without perturbing it. Same fixed-seed
+        // faulty scenario as `full_run_reports_are_byte_identical_for_a_seed`.
+        let mesh = Mesh::square(10);
+        let pattern = FaultPattern::from_faulty_coords(&mesh, [Coord::new(5, 5)]).unwrap();
+        let cfg = SimConfig {
+            warmup_cycles: 300,
+            measure_cycles: 1_200,
+            ..SimConfig::paper()
+        };
+        let untraced = {
+            let mut sim = make_sim(AlgorithmKind::DuatoNbc, pattern.clone(), 0.006, cfg);
+            serde_json::to_string(&sim.run()).expect("report serializes")
+        };
+        let mut sim = make_traced_sim(AlgorithmKind::DuatoNbc, pattern, 0.006, cfg);
+        let traced = serde_json::to_string(&sim.run()).expect("report serializes");
+        assert_eq!(untraced, traced, "tracing perturbed the simulation");
+        assert!(!sim.sink().events().is_empty(), "sink saw no events");
+    }
+
+    #[test]
+    fn trace_replays_to_the_delivered_message_set() {
+        // Deterministic manual-injection run on a faulty mesh: the event
+        // stream must tell the complete story — every message Injects
+        // exactly once, Delivers exactly once, in that order.
+        let mesh = Mesh::square(10);
+        let pattern =
+            FaultPattern::from_rects(&mesh, &[Rect::new(Coord::new(4, 4), Coord::new(5, 6))])
+                .unwrap();
+        let mut sim = make_traced_sim(AlgorithmKind::NHop, pattern, 0.0, SimConfig::quick());
+        let n = 6u32;
+        for i in 0..n {
+            let src = mesh.node(1, (i % 3) as u16);
+            let dest = mesh.node(8, 5 + (i % 4) as u16);
+            sim.inject_message(src, dest);
+        }
+        assert!(sim.run_until_drained(5_000));
+        assert_eq!(sim.recoveries(), 0, "clean replay needs no recoveries");
+        let events = sim.into_sink().into_events();
+        let all: std::collections::BTreeSet<u32> = (0..n).collect();
+        let injected: std::collections::BTreeSet<u32> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Inject)
+            .map(|e| e.msg)
+            .collect();
+        let delivered: std::collections::BTreeSet<u32> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Deliver)
+            .map(|e| e.msg)
+            .collect();
+        assert_eq!(injected, all, "every message must trace an Inject");
+        assert_eq!(delivered, all, "every message must trace a Deliver");
+        for id in 0..n {
+            let inj = events
+                .iter()
+                .find(|e| e.kind == EventKind::Inject && e.msg == id)
+                .expect("inject exists");
+            let del = events
+                .iter()
+                .find(|e| e.kind == EventKind::Deliver && e.msg == id)
+                .expect("deliver exists");
+            assert!(inj.cycle <= del.cycle, "m{id} delivered before injecting");
+        }
+        // Hops are traced too: each delivered message claimed ≥ 1 VC.
+        for id in 0..n {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.kind == EventKind::VcAcquire && e.msg == id),
+                "m{id} delivered without a traced VC acquisition"
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_time_series_covers_the_whole_run() {
+        let mesh = Mesh::square(10);
+        let cfg = SimConfig {
+            warmup_cycles: 0,
+            measure_cycles: 1_000,
+            ..SimConfig::paper()
+        }
+        .with_telemetry_window(50);
+        let mut sim = make_sim(AlgorithmKind::Duato, fault_free(), 0.0, cfg);
+        let n = 4u64;
+        for i in 0..n {
+            sim.inject_message(mesh.node(0, i as u16), mesh.node(9, 9 - i as u16));
+        }
+        assert!(sim.run_until_drained(2_000));
+        let report = sim.report();
+        let t = report.telemetry.expect("telemetry enabled");
+        assert_eq!(t.window, 50);
+        assert_eq!(
+            t.windows.iter().map(|w| w.cycles).sum::<u64>(),
+            sim.cycle(),
+            "windows must tile the simulated cycles exactly"
+        );
+        assert_eq!(t.total_injected(), n);
+        assert_eq!(t.total_delivered(), n);
+        assert!(
+            t.windows.iter().any(|w| w.mean_vc_held > 0.0),
+            "in-flight worms must show up as held VCs"
+        );
+        // And without a window configured, the field stays None + off-wire.
+        let mut sim = make_sim(AlgorithmKind::Duato, fault_free(), 0.0, SimConfig::quick());
+        sim.inject_message(mesh.node(0, 0), mesh.node(1, 0));
+        assert!(sim.run_until_drained(100));
+        let report = sim.report();
+        assert!(report.telemetry.is_none());
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(!json.contains("telemetry"));
+    }
+
+    #[test]
+    fn forged_wait_cycle_is_diagnosed() {
+        // Hand-build a three-message deadlock ring in the wait-for
+        // structures and check the forensics name it: a waits on a slot
+        // held by b, b on one held by c, c on one held by a.
+        let mesh = Mesh::square(10);
+        let mut sim = make_sim(AlgorithmKind::Duato, fault_free(), 0.0, SimConfig::quick());
+        let ids: Vec<u32> = (0..3)
+            .map(|i| sim.inject_message(mesh.node(i, 0), mesh.node(9, 9)).0)
+            .collect();
+        let keys = [0u32, 1, 2];
+        for i in 0..3 {
+            let holder = ids[(i + 1) % 3];
+            sim.msgs[ids[i] as usize].alloc = AllocPhase::Blocked;
+            sim.slots[keys[i] as usize] = Some(holder);
+            sim.waiters[keys[i] as usize].push(ids[i]);
+        }
+        let diag = sim.diagnose_stall(Some(MsgId(ids[0])));
+        assert_eq!(diag.edges.len(), 3);
+        let cycle = diag.wait_cycle.as_ref().expect("forged ring found");
+        let mut sorted = cycle.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, ids, "cycle must name exactly the forged ring");
+        let name = diag.names_resource().expect("resource named");
+        assert!(name.starts_with("deadlock cycle:"), "{name}");
+        let focus = diag.focus.as_ref().expect("focus snapshotted");
+        assert_eq!(focus.id, ids[0]);
+        assert!(focus.at_source);
+        // Clean up the forgery so Drop-time invariants (if any) stay happy.
+        for &key in &keys {
+            sim.slots[key as usize] = None;
+            sim.waiters[key as usize].clear();
+        }
+    }
+
+    #[test]
+    fn organic_stall_produces_a_diagnosis() {
+        // Same scenario that forces real watchdog recoveries in
+        // `incremental_vc_accounting_matches_path_scan`: the diagnosis must
+        // be captured as a value, not just printed. A traced sim is used
+        // because the NullSink fast path skips diagnosis capture to stay
+        // allocation-free (`diagnose_stall` still works on demand there).
+        let mesh = Mesh::square(10);
+        let pattern =
+            FaultPattern::from_rects(&mesh, &[Rect::new(Coord::new(4, 4), Coord::new(5, 6))])
+                .unwrap();
+        let cfg = SimConfig {
+            warmup_cycles: 0,
+            measure_cycles: 1_000,
+            deadlock_timeout: 300,
+            ..SimConfig::paper()
+        };
+        let mut sim = make_traced_sim(AlgorithmKind::MinimalAdaptive, pattern, 0.01, cfg);
+        for _ in 0..1_000 {
+            sim.step();
+        }
+        assert!(sim.recoveries() > 0, "scenario must trip the watchdog");
+        let diag = sim.last_stall().expect("diagnosis captured");
+        assert!(diag.focus.is_some(), "watchdog always has a focus message");
+        // The Display dump renders and carries the verdict line.
+        let text = format!("{diag}");
+        assert!(text.contains("[stall]"), "{text}");
+        assert!(text.contains("verdict:"), "{text}");
     }
 }

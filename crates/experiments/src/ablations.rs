@@ -6,7 +6,7 @@
 
 use crate::config::ExperimentConfig;
 use crate::figures::{paper_52_layout, FigureResult, ANALYSIS_RATE, FULL_LOAD_RATE};
-use crate::runner::{derive_seed, parallel_map, run_custom, CustomSpec};
+use crate::runner::{derive_seed, parallel_map_with_progress, run_custom, CustomSpec};
 use crate::table::Table;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -60,7 +60,13 @@ pub fn ablation_vc_budget(cfg: &ExperimentConfig) -> FigureResult {
             specs.push(s);
         }
     }
-    let reports = parallel_map(&specs, cfg.threads, run_custom);
+    let reports = parallel_map_with_progress(
+        &specs,
+        cfg.threads,
+        cfg.progress,
+        "vc budget ablation",
+        run_custom,
+    );
     let mut thr = Table::new(
         "Saturation throughput vs VC budget (uniform traffic, near-saturation load)",
         "VCs/channel",
@@ -119,7 +125,13 @@ pub fn ablation_message_length(cfg: &ExperimentConfig) -> FigureResult {
             specs.push(s);
         }
     }
-    let reports = parallel_map(&specs, cfg.threads, run_custom);
+    let reports = parallel_map_with_progress(
+        &specs,
+        cfg.threads,
+        cfg.progress,
+        "message length ablation",
+        run_custom,
+    );
     let mut thr = Table::new(
         "Saturation throughput vs message length (offered 0.4 flits/node/cycle)",
         "flits/message",
@@ -176,7 +188,13 @@ pub fn ablation_buffer_depth(cfg: &ExperimentConfig) -> FigureResult {
             specs.push(s);
         }
     }
-    let reports = parallel_map(&specs, cfg.threads, run_custom);
+    let reports = parallel_map_with_progress(
+        &specs,
+        cfg.threads,
+        cfg.progress,
+        "buffer depth ablation",
+        run_custom,
+    );
     let mut thr = Table::new(
         "Saturation throughput vs per-VC buffer depth",
         "flits/VC buffer",
@@ -233,7 +251,13 @@ pub fn ablation_traffic_patterns(cfg: &ExperimentConfig) -> FigureResult {
             specs.push(s);
         }
     }
-    let reports = parallel_map(&specs, cfg.threads, run_custom);
+    let reports = parallel_map_with_progress(
+        &specs,
+        cfg.threads,
+        cfg.progress,
+        "traffic patterns ablation",
+        run_custom,
+    );
     let mut thr = Table::new(
         "Saturation throughput vs traffic pattern",
         "pattern",
@@ -294,7 +318,13 @@ pub fn ablation_misroute_limit(cfg: &ExperimentConfig) -> FigureResult {
             specs.push(s);
         }
     }
-    let reports = parallel_map(&specs, cfg.threads, run_custom);
+    let reports = parallel_map_with_progress(
+        &specs,
+        cfg.threads,
+        cfg.progress,
+        "misroute limit ablation",
+        run_custom,
+    );
     let mut thr = Table::new(
         "Fully-Adaptive throughput vs misroute limit",
         "misroute cap",
@@ -345,7 +375,13 @@ pub fn ablation_arbitration(cfg: &ExperimentConfig) -> FigureResult {
             specs.push(s);
         }
     }
-    let reports = parallel_map(&specs, cfg.threads, run_custom);
+    let reports = parallel_map_with_progress(
+        &specs,
+        cfg.threads,
+        cfg.progress,
+        "arbitration ablation",
+        run_custom,
+    );
     let mut table = Table::new(
         "Throughput / latency / recoveries by arbitration policy (§5.2 layout, full load)",
         "policy / metric",
@@ -413,7 +449,13 @@ pub fn ablation_turn_models(cfg: &ExperimentConfig) -> FigureResult {
             specs.push(s);
         }
     }
-    let reports = parallel_map(&specs, cfg.threads, run_custom);
+    let reports = parallel_map_with_progress(
+        &specs,
+        cfg.threads,
+        cfg.progress,
+        "turn models ablation",
+        run_custom,
+    );
     let mut thr = Table::new(
         "Saturation throughput: turn-model baselines vs adaptive roster",
         "case",
@@ -479,7 +521,13 @@ pub fn ablation_mesh_size(cfg: &ExperimentConfig) -> FigureResult {
             specs.push(s);
         }
     }
-    let reports = parallel_map(&specs, cfg.threads, run_custom);
+    let reports = parallel_map_with_progress(
+        &specs,
+        cfg.threads,
+        cfg.progress,
+        "mesh size ablation",
+        run_custom,
+    );
     let mut thr = Table::new(
         "Saturation throughput vs mesh radix (offered 0.6/k flits/node/cycle)",
         "mesh",

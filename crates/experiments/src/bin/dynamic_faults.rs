@@ -14,7 +14,7 @@
 
 use std::time::Instant;
 use wormsim_chaos::{run_chaos, FaultEvent, FaultSchedule};
-use wormsim_experiments::{dynamic_faults, ExperimentConfig, Scale, DYNAMIC_RATE};
+use wormsim_experiments::{dynamic_faults, ExperimentConfig, Progress, Scale, DYNAMIC_RATE};
 use wormsim_fault::FaultPattern;
 use wormsim_routing::{AlgorithmKind, VcConfig};
 use wormsim_topology::{Coord, Mesh};
@@ -23,7 +23,7 @@ use wormsim_traffic::Workload;
 fn usage() -> ! {
     eprintln!(
         "usage: dynamic_faults [--quick] [--plot] [--seed N] [--threads N] [--out DIR] \
-         [--check-determinism]"
+         [--check-determinism] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -87,11 +87,13 @@ fn main() {
     let mut out_dir = "results".to_string();
     let mut plot = false;
     let mut determinism = false;
+    let mut quiet = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => scale = Scale::Quick,
             "--plot" => plot = true,
+            "--quiet" => quiet = true,
             "--seed" => seed = Some(it.next().unwrap_or_else(|| usage()).parse().expect("seed")),
             "--threads" => {
                 threads = Some(
@@ -106,7 +108,8 @@ fn main() {
             _ => usage(),
         }
     }
-    let mut cfg = ExperimentConfig::new(scale);
+    let progress = Progress::from_quiet_flag(quiet);
+    let mut cfg = ExperimentConfig::new(scale).with_progress(progress);
     if let Some(s) = seed {
         cfg = cfg.with_seed(s);
     }
@@ -117,10 +120,10 @@ fn main() {
         check_determinism(&cfg);
     }
     std::fs::create_dir_all(&out_dir).expect("create results dir");
-    println!(
+    progress.out(format_args!(
         "# wormsim dynamic-fault study ({:?} scale, seed {}, {} threads)\n",
         scale, cfg.base_seed, cfg.threads
-    );
+    ));
     let t = Instant::now();
     let fig = dynamic_faults(&cfg);
     let elapsed = t.elapsed();
@@ -148,5 +151,5 @@ fn main() {
     )
     .expect("write json");
     std::fs::write(format!("{out_dir}/{}.md", fig.id), &md).expect("write md");
-    println!("{md}");
+    progress.out(format_args!("{md}"));
 }

@@ -12,12 +12,12 @@ use std::time::Instant;
 use wormsim_experiments::{
     fig1_saturation_throughput, fig2_latency_vs_rate, fig3_vc_utilization,
     fig4_throughput_vs_faults, fig5_latency_vs_faults, fig6_fring_traffic, ExperimentConfig,
-    FigureResult, Scale,
+    FigureResult, Progress, Scale,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <fig1|fig2|fig3|fig4|fig5|fig6|all> [--quick] [--plot] [--seed N] [--threads N] [--out DIR]"
+        "usage: figures <fig1|fig2|fig3|fig4|fig5|fig6|all> [--quick] [--plot] [--seed N] [--threads N] [--out DIR] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -33,6 +33,7 @@ fn main() {
     let mut threads = None;
     let mut out_dir = "results".to_string();
     let mut plot = false;
+    let mut quiet = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -42,6 +43,7 @@ fn main() {
             "all" => which.extend(["fig1", "fig2", "fig3", "fig4", "fig5", "fig6"]),
             "--quick" => scale = Scale::Quick,
             "--plot" => plot = true,
+            "--quiet" => quiet = true,
             "--seed" => seed = Some(it.next().unwrap_or_else(|| usage()).parse().expect("seed")),
             "--threads" => {
                 threads = Some(
@@ -59,7 +61,8 @@ fn main() {
         usage();
     }
 
-    let mut cfg = ExperimentConfig::new(scale);
+    let progress = Progress::from_quiet_flag(quiet);
+    let mut cfg = ExperimentConfig::new(scale).with_progress(progress);
     if let Some(s) = seed {
         cfg = cfg.with_seed(s);
     }
@@ -68,10 +71,10 @@ fn main() {
     }
     std::fs::create_dir_all(&out_dir).expect("create results dir");
 
-    println!(
+    progress.out(format_args!(
         "# wormsim figure reproduction ({:?} scale, seed {}, {} threads)\n",
         scale, cfg.base_seed, cfg.threads
-    );
+    ));
     for id in which {
         let t = Instant::now();
         let fig: FigureResult = match id {
@@ -122,7 +125,7 @@ fn main() {
         )
         .expect("write json");
         std::fs::write(format!("{out_dir}/{}.md", fig.id), &md).expect("write md");
-        println!("{md}");
+        progress.out(format_args!("{md}"));
         let _ = std::io::stdout().flush();
     }
 }

@@ -10,7 +10,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use wormsim_engine::{Arbitration, SimConfig};
-use wormsim_experiments::{parallel_map, run_custom, CustomSpec, Table};
+use wormsim_experiments::{parallel_map_with_progress, run_custom, CustomSpec, Progress, Table};
 use wormsim_fault::{random_pattern, FaultPattern};
 use wormsim_routing::{AlgorithmKind, VcConfig};
 use wormsim_topology::Mesh;
@@ -39,7 +39,7 @@ fn parse_algo(s: &str) -> Option<AlgorithmKind> {
 fn usage() -> ! {
     eprintln!(
         "usage: sweep [--algo NAME]... [--faults N] [--rate R]... [--length L] [--vcs V] \
-         [--mesh K] [--cycles C] [--seeds N] [--oldest-first] [--plot]\n\
+         [--mesh K] [--cycles C] [--seeds N] [--oldest-first] [--plot] [--quiet]\n\
          algorithms: {:?} + {:?}",
         AlgorithmKind::ALL.map(|k| k.paper_name()),
         AlgorithmKind::EXTENDED_BASELINES.map(|k| k.paper_name()),
@@ -59,6 +59,7 @@ fn main() {
     let mut seeds = 1u64;
     let mut arbitration = Arbitration::Random;
     let mut plot = false;
+    let mut quiet = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut next = || it.next().cloned().unwrap_or_else(|| usage());
@@ -79,6 +80,7 @@ fn main() {
             "--seeds" => seeds = next().parse().expect("seeds"),
             "--oldest-first" => arbitration = Arbitration::OldestFirst,
             "--plot" => plot = true,
+            "--quiet" => quiet = true,
             _ => usage(),
         }
     }
@@ -96,7 +98,8 @@ fn main() {
     } else {
         random_pattern(&mesh, faults, &mut rng).expect("fault pattern")
     };
-    println!(
+    let progress = Progress::from_quiet_flag(quiet);
+    progress.out(format_args!(
         "mesh {mesh_size}×{mesh_size}, {} faults ({} disabled, {} regions), {} VCs, {}-flit messages, {} cycles × {} seed(s), {:?} arbitration",
         faults,
         pattern.num_faulty(),
@@ -106,7 +109,7 @@ fn main() {
         cycles,
         seeds,
         arbitration
-    );
+    ));
 
     let mut specs = Vec::new();
     for &rate in &rates {
@@ -134,7 +137,7 @@ fn main() {
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4);
-    let reports = parallel_map(&specs, threads, run_custom);
+    let reports = parallel_map_with_progress(&specs, threads, progress, "sweep", run_custom);
 
     let mut thr = Table::new(
         "normalized throughput",

@@ -1,0 +1,199 @@
+//! Record one faulty-mesh simulation end-to-end with flit-level tracing,
+//! cycle telemetry, and stall forensics, then validate its own artifacts.
+//!
+//! ```text
+//! cargo run --release -p wormsim-experiments --bin trace -- \
+//!     --mesh 8 --faults 3 --rate 0.004 --cycles 4000 --out results
+//! ```
+//!
+//! Writes three files to `--out`:
+//!
+//! - `trace_events.jsonl` — one `TraceEvent` per line (streaming form).
+//! - `trace_chrome.json` — Chrome `trace_event` document; load it at
+//!   `chrome://tracing` or <https://ui.perfetto.dev> to see one track per
+//!   node plus a fabric track of VC wake-ups.
+//! - `trace_report.json` — the run's `SimReport`, telemetry included.
+//!
+//! Before exiting the binary re-parses both trace files and checks they
+//! agree, so a zero exit status certifies the artifacts are well-formed.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fs::File;
+use std::io::Write;
+use std::sync::Arc;
+use wormsim_engine::{ChromeTraceSink, EventKind, JsonlSink, SimConfig, Simulator, TeeSink};
+use wormsim_experiments::Progress;
+use wormsim_fault::{random_pattern, FaultPattern};
+use wormsim_obs::parse_jsonl;
+use wormsim_routing::{build_algorithm, AlgorithmKind, RoutingContext, VcConfig};
+use wormsim_topology::Mesh;
+use wormsim_traffic::Workload;
+
+fn parse_algo(s: &str) -> Option<AlgorithmKind> {
+    let norm = s.to_lowercase().replace(['_', ' '], "-");
+    let all = AlgorithmKind::ALL
+        .into_iter()
+        .chain(AlgorithmKind::EXTENDED_BASELINES);
+    for k in all {
+        let name = k
+            .paper_name()
+            .to_lowercase()
+            .replace([' ', '\'', '(', ')'], "-")
+            .replace("--", "-");
+        if name.trim_matches('-') == norm
+            || format!("{k:?}").to_lowercase() == norm.replace('-', "")
+        {
+            return Some(k);
+        }
+    }
+    None
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace [--algo NAME] [--mesh K] [--faults N] [--rate R] [--cycles C] \
+         [--seed S] [--telemetry-window W] [--out DIR] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut kind = AlgorithmKind::DuatoNbc;
+    let mut mesh_size = 8u16;
+    let mut faults = 3usize;
+    let mut rate = 0.004f64;
+    let mut cycles = 4_000u64;
+    let mut seed = 0xB0Bu64;
+    let mut window = 200u64;
+    let mut out_dir = "results".to_string();
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = || it.next().cloned().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--algo" => {
+                let name = next();
+                kind = parse_algo(&name).unwrap_or_else(|| {
+                    eprintln!("unknown algorithm {name:?}");
+                    usage()
+                });
+            }
+            "--mesh" => mesh_size = next().parse().expect("mesh"),
+            "--faults" => faults = next().parse().expect("faults"),
+            "--rate" => rate = next().parse().expect("rate"),
+            "--cycles" => cycles = next().parse().expect("cycles"),
+            "--seed" => seed = next().parse().expect("seed"),
+            "--telemetry-window" => window = next().parse().expect("telemetry-window"),
+            "--out" => out_dir = next(),
+            "--quiet" => quiet = true,
+            _ => usage(),
+        }
+    }
+    let progress = Progress::from_quiet_flag(quiet);
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+
+    // Faulty mesh: `faults` nodes drawn reproducibly from the seed.
+    let mesh = Mesh::square(mesh_size);
+    let pattern = if faults == 0 {
+        FaultPattern::fault_free(&mesh)
+    } else {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        random_pattern(&mesh, faults, &mut rng).expect("fault pattern")
+    };
+    progress.out(format_args!(
+        "tracing {} on a {mesh_size}×{mesh_size} mesh, {} faulty nodes, rate {rate}, \
+         {cycles} cycles, seed {seed:#x}",
+        kind.paper_name(),
+        pattern.num_faulty(),
+    ));
+
+    let ctx = Arc::new(RoutingContext::new(mesh, pattern));
+    let algo = build_algorithm(kind, ctx.clone(), VcConfig::paper());
+    let cfg = SimConfig {
+        warmup_cycles: cycles / 3,
+        measure_cycles: cycles - cycles / 3,
+        ..SimConfig::paper()
+    }
+    .with_seed(seed)
+    .with_telemetry_window(window);
+
+    let jsonl_path = format!("{out_dir}/trace_events.jsonl");
+    let chrome_path = format!("{out_dir}/trace_chrome.json");
+    let report_path = format!("{out_dir}/trace_report.json");
+    let jsonl_file = File::create(&jsonl_path).expect("create jsonl file");
+    let sink = TeeSink(
+        JsonlSink::new(jsonl_file),
+        ChromeTraceSink::new(mesh_size, mesh_size),
+    );
+    let mut sim = Simulator::with_sink(algo, ctx, Workload::paper_uniform(rate), cfg, sink);
+    let report = sim.run();
+    let stall = sim.last_stall().cloned();
+    let TeeSink(jsonl, chrome) = sim.into_sink();
+    let recorded = jsonl.written();
+    jsonl.finish().expect("flush jsonl").flush().expect("sync");
+    chrome
+        .write_to(File::create(&chrome_path).expect("create chrome file"))
+        .expect("write chrome trace");
+    std::fs::write(
+        &report_path,
+        serde_json::to_string_pretty(&report).expect("report serializes"),
+    )
+    .expect("write report");
+
+    // Self-validation: both artifacts must re-parse and agree with the run.
+    let text = std::fs::read_to_string(&jsonl_path).expect("read back jsonl");
+    let events = parse_jsonl(&text).expect("jsonl re-parses");
+    assert_eq!(
+        events.len() as u64,
+        recorded,
+        "jsonl line count must match recorded event count"
+    );
+    assert_eq!(events.len(), chrome.len(), "tee halves must agree");
+    let chrome_doc =
+        serde::json::parse(&std::fs::read_to_string(&chrome_path).expect("read back chrome"))
+            .expect("chrome trace re-parses");
+    match chrome_doc.get("traceEvents") {
+        Some(serde::Value::Array(entries)) => assert!(
+            entries.len() > events.len(),
+            "chrome doc must hold every event plus track metadata"
+        ),
+        _ => panic!("chrome trace lacks a traceEvents array"),
+    }
+
+    let count = |k: EventKind| events.iter().filter(|e| e.kind == k).count();
+    println!("recorded {} trace events to {jsonl_path}", events.len());
+    println!(
+        "  inject {} / route {} / vc-acquire {} / block {} / wake {} / abort {} / recover {} / deliver {}",
+        count(EventKind::Inject),
+        count(EventKind::RouteDecision),
+        count(EventKind::VcAcquire),
+        count(EventKind::Block),
+        count(EventKind::Wake),
+        count(EventKind::Abort),
+        count(EventKind::Recover),
+        count(EventKind::Deliver),
+    );
+    println!("chrome trace written to {chrome_path} (open in Perfetto)");
+    if let Some(t) = &report.telemetry {
+        println!(
+            "telemetry: {} windows of {} cycles — {} injected, {} delivered",
+            t.windows.len(),
+            t.window,
+            t.total_injected(),
+            t.total_delivered(),
+        );
+        if let Some(w) = t.peak_blocked_window() {
+            println!(
+                "  peak contention at cycle {}: {} blocked waits, mean {:.1} VCs held",
+                w.start_cycle, w.blocked_waits, w.mean_vc_held,
+            );
+        }
+    }
+    match &stall {
+        Some(diag) => print!("{diag}"),
+        None => println!("no stalls: the watchdog never fired"),
+    }
+    println!("report written to {report_path}");
+}

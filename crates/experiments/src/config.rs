@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use wormsim_engine::SimConfig;
+use wormsim_obs::Progress;
 use wormsim_routing::VcConfig;
 
 /// How much compute to spend: `Paper` mirrors the paper's §5 schedule;
@@ -30,6 +31,9 @@ pub struct ExperimentConfig {
     pub threads: usize,
     /// Every stochastic choice in the harness derives from this.
     pub base_seed: u64,
+    /// Progress chatter policy for the fan-out (per-item ticks, banners).
+    /// Quiet by default; result tables print regardless.
+    pub progress: Progress,
 }
 
 impl ExperimentConfig {
@@ -55,6 +59,7 @@ impl ExperimentConfig {
                 .map(|p| p.get())
                 .unwrap_or(4),
             base_seed: 0xC0FFEE,
+            progress: Progress::quiet(),
         }
     }
 
@@ -67,6 +72,12 @@ impl ExperimentConfig {
     /// Builder-style seed override.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.base_seed = seed;
+        self
+    }
+
+    /// Builder-style progress-reporter override.
+    pub fn with_progress(mut self, progress: Progress) -> Self {
+        self.progress = progress;
         self
     }
 }
@@ -89,8 +100,11 @@ mod tests {
     fn builders() {
         let c = ExperimentConfig::new(Scale::Quick)
             .with_threads(2)
-            .with_seed(9);
+            .with_seed(9)
+            .with_progress(Progress::verbose());
         assert_eq!(c.threads, 2);
         assert_eq!(c.base_seed, 9);
+        assert!(c.progress.is_verbose());
+        assert!(!ExperimentConfig::new(Scale::Quick).progress.is_verbose());
     }
 }

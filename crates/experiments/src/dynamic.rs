@@ -6,7 +6,7 @@
 
 use crate::config::ExperimentConfig;
 use crate::figures::FigureResult;
-use crate::runner::{derive_seed, parallel_map};
+use crate::runner::{derive_seed, parallel_map_with_progress};
 use crate::table::Table;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -111,18 +111,24 @@ pub fn dynamic_faults(cfg: &ExperimentConfig) -> FigureResult {
             }
         }
     }
-    let reports: Vec<SimReport> = parallel_map(&specs, cfg.threads, |spec| {
-        run_chaos(
-            Mesh::square(cfg.mesh_size),
-            FaultPattern::fault_free(&Mesh::square(cfg.mesh_size)),
-            &spec.schedule,
-            spec.kind,
-            cfg.vc,
-            Workload::paper_uniform(DYNAMIC_RATE),
-            cfg.sim.with_seed(spec.seed),
-        )
-        .expect("validated schedule cannot fail at run time")
-    });
+    let reports: Vec<SimReport> = parallel_map_with_progress(
+        &specs,
+        cfg.threads,
+        cfg.progress,
+        "dynamic faults",
+        |spec| {
+            run_chaos(
+                Mesh::square(cfg.mesh_size),
+                FaultPattern::fault_free(&Mesh::square(cfg.mesh_size)),
+                &spec.schedule,
+                spec.kind,
+                cfg.vc,
+                Workload::paper_uniform(DYNAMIC_RATE),
+                cfg.sim.with_seed(spec.seed),
+            )
+            .expect("validated schedule cannot fail at run time")
+        },
+    );
 
     let columns: Vec<String> = DYNAMIC_KINDS
         .iter()

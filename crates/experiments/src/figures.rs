@@ -1,7 +1,7 @@
 //! One function per paper figure.
 
 use crate::config::ExperimentConfig;
-use crate::runner::{derive_seed, parallel_map, run_single, RunSpec};
+use crate::runner::{derive_seed, parallel_map_with_progress, run_single, RunSpec};
 use crate::table::Table;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -81,7 +81,9 @@ pub fn fig1_saturation_throughput(cfg: &ExperimentConfig) -> FigureResult {
             })
         })
         .collect();
-    let reports = parallel_map(&specs, cfg.threads, |s| run_single(cfg, s));
+    let reports = parallel_map_with_progress(&specs, cfg.threads, cfg.progress, "fig1", |s| {
+        run_single(cfg, s)
+    });
     let mut table = Table::new(
         "Saturation throughput vs traffic generation rate (fault-free 10×10 mesh)",
         "rate (msgs/node/cycle)",
@@ -122,7 +124,9 @@ pub fn fig2_latency_vs_rate(cfg: &ExperimentConfig) -> FigureResult {
             })
         })
         .collect();
-    let reports = parallel_map(&specs, cfg.threads, |s| run_single(cfg, s));
+    let reports = parallel_map_with_progress(&specs, cfg.threads, cfg.progress, "fig2", |s| {
+        run_single(cfg, s)
+    });
     let mut table = Table::new(
         "Average message latency vs traffic generation rate (fault-free 10×10 mesh)",
         "rate (msgs/node/cycle)",
@@ -176,7 +180,13 @@ pub fn fig3_vc_utilization(cfg: &ExperimentConfig) -> FigureResult {
                 })
             })
             .collect();
-        let reports = parallel_map(&specs, cfg.threads, |s| run_single(cfg, s));
+        let reports = parallel_map_with_progress(
+            &specs,
+            cfg.threads,
+            cfg.progress,
+            &format!("fig3 panel {panel}"),
+            |s| run_single(cfg, s),
+        );
         let mut table = Table::new(
             format!("Per-VC utilization (%) at 5% faults — panel {panel}"),
             "VC index",
@@ -235,7 +245,13 @@ fn fault_sweep(cfg: &ExperimentConfig, salt: u64) -> Vec<(usize, AlgorithmKind, 
                 })
             })
             .collect();
-        let reports = parallel_map(&specs, cfg.threads, |s| run_single(cfg, s));
+        let reports = parallel_map_with_progress(
+            &specs,
+            cfg.threads,
+            cfg.progress,
+            &format!("fault sweep ({faults} faults)"),
+            |s| run_single(cfg, s),
+        );
         for (ki, &kind) in kinds.iter().enumerate() {
             let slice = reports[ki * patterns.len()..(ki + 1) * patterns.len()].to_vec();
             out.push((faults, kind, slice));
@@ -361,7 +377,10 @@ pub fn fig6_fring_traffic(cfg: &ExperimentConfig) -> FigureResult {
             })
         })
         .collect();
-    let reports = parallel_map(&specs, cfg.threads, |(_, s)| run_single(cfg, s));
+    let reports =
+        parallel_map_with_progress(&specs, cfg.threads, cfg.progress, "fig6", |(_, s)| {
+            run_single(cfg, s)
+        });
 
     let mut table = Table::new(
         "Traffic load on f-ring nodes vs other nodes (% of peak node load)",

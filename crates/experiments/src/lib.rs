@@ -35,5 +35,8 @@ pub use figures::{
     fig4_throughput_vs_faults, fig5_latency_vs_faults, fig6_fring_traffic, paper_52_layout,
     FigureResult, ANALYSIS_RATE, FULL_LOAD_RATE, RATE_SWEEP,
 };
-pub use runner::{parallel_map, run_custom, run_single, CustomSpec, RunSpec};
+pub use runner::{
+    parallel_map, parallel_map_with_progress, run_custom, run_single, CustomSpec, RunSpec,
+};
 pub use table::Table;
+pub use wormsim_obs::Progress;

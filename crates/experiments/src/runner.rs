@@ -6,6 +6,7 @@ use std::sync::Arc;
 use wormsim_engine::Simulator;
 use wormsim_fault::FaultPattern;
 use wormsim_metrics::SimReport;
+use wormsim_obs::Progress;
 use wormsim_routing::{build_algorithm, AlgorithmKind, RoutingContext};
 use wormsim_topology::Mesh;
 use wormsim_traffic::Workload;
@@ -66,14 +67,37 @@ pub fn run_custom(spec: &CustomSpec) -> SimReport {
 
 /// Map `f` over `items` using `threads` scoped worker threads (dynamic
 /// work stealing over an atomic index). Result order matches input order.
+///
+/// Shorthand for [`parallel_map_with_progress`] with a quiet reporter.
 pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = threads.clamp(1, items.len().max(1));
+    parallel_map_with_progress(items, threads, Progress::quiet(), "parallel_map", f)
+}
+
+/// [`parallel_map`] with a [`Progress`] reporter attached: a verbose
+/// reporter prints one completion tick per item (tagged with `label`), and
+/// worker-panic context goes through [`Progress::error`] so it survives a
+/// quiet reporter. Result order matches input order.
+pub fn parallel_map_with_progress<T, R, F>(
+    items: &[T],
+    threads: usize,
+    progress: Progress,
+    label: &str,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let total = items.len();
+    let threads = threads.clamp(1, total.max(1));
     let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
     let mut collected: Vec<(usize, R)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
@@ -81,10 +105,12 @@ where
                     let mut out = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
+                        if i >= total {
                             break;
                         }
                         out.push((i, f(&items[i])));
+                        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        progress.note(format_args!("{label}: {finished}/{total} runs done"));
                     }
                     out
                 })
@@ -99,12 +125,11 @@ where
                 // all) instead of masking it behind a generic join error,
                 // so a crashing run identifies its work item.
                 Err(payload) => {
-                    let done = next.load(Ordering::Relaxed).min(items.len());
-                    eprintln!(
-                        "parallel_map: worker {worker}/{threads} panicked \
-                         ({done}/{} items claimed)",
-                        items.len()
-                    );
+                    let claimed = next.load(Ordering::Relaxed).min(total);
+                    progress.error(format_args!(
+                        "{label}: worker {worker}/{threads} panicked \
+                         ({claimed}/{total} items claimed)"
+                    ));
                     std::panic::resume_unwind(payload);
                 }
             })
@@ -148,6 +173,13 @@ mod tests {
     fn parallel_map_empty() {
         let out: Vec<i32> = parallel_map(&[] as &[i32], 4, |&x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_map_with_progress_preserves_order() {
+        let items: Vec<u64> = (0..40).collect();
+        let out = parallel_map_with_progress(&items, 4, Progress::quiet(), "test", |&x| x * 3);
+        assert_eq!(out, (0..40).map(|x| x * 3).collect::<Vec<_>>());
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! Per-window cycle telemetry: coarse time series over a run.
+//!
+//! The scalar statistics elsewhere in this crate answer "how did the run
+//! do overall"; telemetry answers "when did it change". The engine folds
+//! a handful of per-cycle counters into fixed-width windows so a report
+//! can show injection/delivery/blocking rates, VC occupancy, and f-ring
+//! crossing rates *over time* — the view that makes fault activations
+//! and congestion collapses visible.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregates for one window of consecutive cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryWindow {
+    /// First cycle of the window (measured from simulation start).
+    pub start_cycle: u64,
+    /// Cycles covered (the final window may be shorter).
+    pub cycles: u64,
+    /// Messages injected into the network (queue → injection port).
+    pub injected: u64,
+    /// Messages whose tail flit drained at the destination.
+    pub delivered_messages: u64,
+    /// Flits delivered.
+    pub delivered_flits: u64,
+    /// Blocked-cycle count: one per message per cycle spent waiting.
+    pub blocked_waits: u64,
+    /// Mean VC slots held across the window's cycles.
+    pub mean_vc_held: f64,
+    /// Hops taken on fault-ring overlay VCs during the window.
+    pub ring_crossings: u64,
+}
+
+impl TelemetryWindow {
+    /// Injection rate in messages/cycle over this window.
+    pub fn injection_rate(&self) -> f64 {
+        self.injected as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Delivery rate in messages/cycle over this window.
+    pub fn delivery_rate(&self) -> f64 {
+        self.delivered_messages as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Mean messages blocked per cycle over this window.
+    pub fn mean_blocked(&self) -> f64 {
+        self.blocked_waits as f64 / self.cycles.max(1) as f64
+    }
+}
+
+/// The complete time series for one run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CycleTelemetry {
+    /// Configured window width in cycles.
+    pub window: u64,
+    /// Consecutive windows, oldest first; the last may be partial.
+    pub windows: Vec<TelemetryWindow>,
+}
+
+impl CycleTelemetry {
+    /// Total messages injected across all windows.
+    pub fn total_injected(&self) -> u64 {
+        self.windows.iter().map(|w| w.injected).sum()
+    }
+
+    /// Total messages delivered across all windows.
+    pub fn total_delivered(&self) -> u64 {
+        self.windows.iter().map(|w| w.delivered_messages).sum()
+    }
+
+    /// The window with the highest mean blocked-message count.
+    pub fn peak_blocked_window(&self) -> Option<&TelemetryWindow> {
+        self.windows
+            .iter()
+            .max_by(|a, b| a.mean_blocked().total_cmp(&b.mean_blocked()))
+    }
+}
+
+/// The engine-side accumulator: fed once per cycle, emits
+/// [`TelemetryWindow`]s every `window` cycles.
+#[derive(Clone, Debug)]
+pub struct TelemetryCollector {
+    window: u64,
+    windows: Vec<TelemetryWindow>,
+    /// Cycles folded into the current (open) window.
+    cycles_in_window: u64,
+    /// First cycle of the open window.
+    window_start: u64,
+    injected: u64,
+    delivered_messages: u64,
+    delivered_flits: u64,
+    blocked_waits: u64,
+    vc_held_sum: u64,
+    /// Cumulative ring-hop count at the start of the open window.
+    ring_base: u64,
+    /// Most recent cumulative ring-hop count observed.
+    ring_last: u64,
+}
+
+impl TelemetryCollector {
+    /// A collector emitting one window per `window` cycles (`window ≥ 1`).
+    pub fn new(window: u64) -> Self {
+        assert!(window >= 1, "telemetry window must be at least 1 cycle");
+        TelemetryCollector {
+            window,
+            windows: Vec::new(),
+            cycles_in_window: 0,
+            window_start: 0,
+            injected: 0,
+            delivered_messages: 0,
+            delivered_flits: 0,
+            blocked_waits: 0,
+            vc_held_sum: 0,
+            ring_base: 0,
+            ring_last: 0,
+        }
+    }
+
+    /// Configured window width.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Fold one cycle's counters in. `cycle` is the cycle just simulated;
+    /// `ring_hops_total` is the engine's *cumulative* ring-hop counter
+    /// (the collector differences it per window).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_cycle(
+        &mut self,
+        cycle: u64,
+        injected: u64,
+        delivered_messages: u64,
+        delivered_flits: u64,
+        blocked_waits: u64,
+        vc_held: u64,
+        ring_hops_total: u64,
+    ) {
+        if self.cycles_in_window == 0 {
+            self.window_start = cycle;
+            self.ring_base = self.ring_last;
+        }
+        self.cycles_in_window += 1;
+        self.injected += injected;
+        self.delivered_messages += delivered_messages;
+        self.delivered_flits += delivered_flits;
+        self.blocked_waits += blocked_waits;
+        self.vc_held_sum += vc_held;
+        self.ring_last = ring_hops_total;
+        if self.cycles_in_window == self.window {
+            self.close_window();
+        }
+    }
+
+    fn close_window(&mut self) {
+        let cycles = self.cycles_in_window;
+        self.windows.push(TelemetryWindow {
+            start_cycle: self.window_start,
+            cycles,
+            injected: self.injected,
+            delivered_messages: self.delivered_messages,
+            delivered_flits: self.delivered_flits,
+            blocked_waits: self.blocked_waits,
+            mean_vc_held: self.vc_held_sum as f64 / cycles as f64,
+            ring_crossings: self.ring_last - self.ring_base,
+        });
+        self.cycles_in_window = 0;
+        self.injected = 0;
+        self.delivered_messages = 0;
+        self.delivered_flits = 0;
+        self.blocked_waits = 0;
+        self.vc_held_sum = 0;
+    }
+
+    /// The time series so far, including the open partial window.
+    pub fn snapshot(&self) -> CycleTelemetry {
+        let mut windows = self.windows.clone();
+        if self.cycles_in_window > 0 {
+            windows.push(TelemetryWindow {
+                start_cycle: self.window_start,
+                cycles: self.cycles_in_window,
+                injected: self.injected,
+                delivered_messages: self.delivered_messages,
+                delivered_flits: self.delivered_flits,
+                blocked_waits: self.blocked_waits,
+                mean_vc_held: self.vc_held_sum as f64 / self.cycles_in_window as f64,
+                ring_crossings: self.ring_last - self.ring_base,
+            });
+        }
+        CycleTelemetry {
+            window: self.window,
+            windows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_close_at_width_and_partial_tail_survives() {
+        let mut c = TelemetryCollector::new(4);
+        for cycle in 0..10 {
+            c.record_cycle(cycle, 1, 0, 0, 2, 5, cycle + 1);
+        }
+        let t = c.snapshot();
+        assert_eq!(t.window, 4);
+        assert_eq!(t.windows.len(), 3, "two full windows + partial tail");
+        assert_eq!(t.windows[0].start_cycle, 0);
+        assert_eq!(t.windows[0].cycles, 4);
+        assert_eq!(t.windows[0].injected, 4);
+        assert_eq!(t.windows[0].blocked_waits, 8);
+        assert_eq!(t.windows[0].mean_vc_held, 5.0);
+        assert_eq!(t.windows[1].start_cycle, 4);
+        assert_eq!(t.windows[2].start_cycle, 8);
+        assert_eq!(t.windows[2].cycles, 2);
+        assert_eq!(t.total_injected(), 10);
+    }
+
+    #[test]
+    fn ring_crossings_are_differenced_per_window() {
+        let mut c = TelemetryCollector::new(2);
+        // Cumulative ring hops: 0, 3, 3, 10 → windows see 3 and 7.
+        c.record_cycle(0, 0, 0, 0, 0, 0, 0);
+        c.record_cycle(1, 0, 0, 0, 0, 0, 3);
+        c.record_cycle(2, 0, 0, 0, 0, 0, 3);
+        c.record_cycle(3, 0, 0, 0, 0, 0, 10);
+        let t = c.snapshot();
+        assert_eq!(t.windows.len(), 2);
+        assert_eq!(t.windows[0].ring_crossings, 3);
+        assert_eq!(t.windows[1].ring_crossings, 7);
+    }
+
+    #[test]
+    fn rates_and_peak_window() {
+        let mut c = TelemetryCollector::new(2);
+        c.record_cycle(0, 4, 2, 40, 0, 0, 0);
+        c.record_cycle(1, 0, 0, 0, 0, 0, 0);
+        c.record_cycle(2, 0, 0, 0, 6, 0, 0);
+        c.record_cycle(3, 0, 0, 0, 6, 0, 0);
+        let t = c.snapshot();
+        assert_eq!(t.windows[0].injection_rate(), 2.0);
+        assert_eq!(t.windows[0].delivery_rate(), 1.0);
+        assert_eq!(t.windows[1].mean_blocked(), 6.0);
+        let peak = t.peak_blocked_window().unwrap();
+        assert_eq!(peak.start_cycle, 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut c = TelemetryCollector::new(3);
+        for cycle in 0..7 {
+            c.record_cycle(cycle, 1, 1, 20, 3, 8, cycle);
+        }
+        let t = c.snapshot();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: CycleTelemetry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,144 @@
+//! Streaming JSONL sink: one serialized [`TraceEvent`] per line.
+//!
+//! JSONL keeps the file greppable and streamable — every line is a
+//! complete JSON document, so a consumer can tail a live run or parse a
+//! truncated file up to the last complete line.
+
+use crate::event::TraceEvent;
+use crate::sink::Sink;
+use std::io::{self, BufWriter, Write};
+
+/// Writes each event as one compact JSON line through a buffered writer.
+///
+/// `record` cannot return errors, so the first I/O failure is latched:
+/// subsequent events are dropped and [`JsonlSink::finish`] (or
+/// [`JsonlSink::error`]) reports it.
+pub struct JsonlSink<W: Write> {
+    w: BufWriter<W>,
+    written: u64,
+    err: Option<io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wrap a writer (buffering is handled internally).
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            w: BufWriter::new(writer),
+            written: 0,
+            err: None,
+        }
+    }
+
+    /// Lines successfully written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// The latched I/O error, if any write failed.
+    pub fn error(&self) -> Option<&io::Error> {
+        self.err.as_ref()
+    }
+
+    /// Flush and return the inner writer, or the first latched error.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.err.take() {
+            return Err(e);
+        }
+        self.w.flush()?;
+        self.w
+            .into_inner()
+            .map_err(|e| io::Error::other(e.to_string()))
+    }
+}
+
+impl<W: Write> Sink for JsonlSink<W> {
+    fn record(&mut self, event: TraceEvent) {
+        if self.err.is_some() {
+            return;
+        }
+        let line = serde_json::to_string(&event);
+        let res = line
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+            .and_then(|l| {
+                self.w.write_all(l.as_bytes())?;
+                self.w.write_all(b"\n")
+            });
+        match res {
+            Ok(()) => self.written += 1,
+            Err(e) => self.err = Some(e),
+        }
+    }
+}
+
+/// Parse a JSONL trace back into events (empty lines are skipped).
+/// Returns the 1-based line number alongside any parse error.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev: TraceEvent =
+            serde_json::from_str(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        out.push(ev);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn round_trips_through_text() {
+        let events = vec![
+            TraceEvent::new(1, EventKind::Inject, 0).at(5),
+            TraceEvent::new(2, EventKind::VcAcquire, 0).at(5).on(12, 3),
+            TraceEvent::new(9, EventKind::Deliver, 0).at(8),
+        ];
+        let mut sink = JsonlSink::new(Vec::new());
+        for &e in &events {
+            sink.record(e);
+        }
+        assert_eq!(sink.written(), 3);
+        let bytes = sink.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn parse_reports_bad_line() {
+        let err = parse_jsonl("{\"cycle\":0").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+    }
+
+    #[test]
+    fn write_errors_latch() {
+        /// A writer that fails after the first byte.
+        struct Failing(u32);
+        impl Write for Failing {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0 += 1;
+                if self.0 > 1 {
+                    Err(io::Error::other("disk full"))
+                } else {
+                    Ok(buf.len())
+                }
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        // A tiny BufWriter capacity would be needed to force the flush
+        // path deterministically; instead latch via finish() on a sink
+        // whose inner writer rejects the buffered flush.
+        let mut sink = JsonlSink::new(Failing(1));
+        for c in 0..10_000 {
+            sink.record(TraceEvent::new(c, EventKind::Wake, 0));
+        }
+        assert!(sink.error().is_some() || sink.finish().is_err());
+    }
+}

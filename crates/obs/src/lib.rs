@@ -1,0 +1,34 @@
+//! # wormsim-obs
+//!
+//! The observability layer for the wormhole simulator: structured
+//! flit-level trace events, pluggable sinks, stall forensics, and the
+//! shared experiment progress reporter.
+//!
+//! Design constraint: instrumentation must be *zero-cost when off*. The
+//! engine is generic over a [`Sink`] whose associated `ENABLED` constant
+//! gates every emit site; with the default [`NullSink`] the guards
+//! constant-fold away and the engine's zero-allocation steady state (and
+//! its committed report fingerprint) are untouched.
+//!
+//! Modules:
+//!
+//! - [`TraceEvent`] / [`EventKind`] — the event vocabulary.
+//! - [`NullSink`], [`VecSink`], [`RingSink`], [`TeeSink`] — in-memory
+//!   sinks; [`JsonlSink`] streams to any writer; [`ChromeTraceSink`]
+//!   exports `chrome://tracing` / Perfetto documents.
+//! - [`StallDiagnosis`] — wait-for-graph forensics for the watchdog.
+//! - [`Progress`] — quiet/verbose chatter policy for experiment bins.
+
+mod chrome;
+mod event;
+mod jsonl;
+mod progress;
+mod sink;
+mod stall;
+
+pub use chrome::ChromeTraceSink;
+pub use event::{EventKind, TraceEvent};
+pub use jsonl::{parse_jsonl, JsonlSink};
+pub use progress::Progress;
+pub use sink::{NullSink, RingSink, Sink, TeeSink, VecSink};
+pub use stall::{Hotspot, StallDiagnosis, StallMessage, WaitEdge};

@@ -1,0 +1,84 @@
+//! Shared progress reporting for experiment drivers.
+//!
+//! The experiment bins historically sprinkled ad-hoc `println!` calls;
+//! this small handle centralises the policy: informational output is
+//! suppressed in quiet mode, errors always reach stderr. Result tables
+//! (the artifacts a run exists to produce) should stay on plain
+//! `println!` — [`Progress`] governs *chatter*, not *output*.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A copyable handle deciding whether informational chatter is printed.
+///
+/// The default is quiet, so library call sites (tests, benches) stay
+/// silent unless a bin explicitly opts into verbosity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Progress {
+    verbose: bool,
+}
+
+impl Progress {
+    /// A reporter that prints informational messages.
+    pub fn verbose() -> Self {
+        Progress { verbose: true }
+    }
+
+    /// A reporter that suppresses informational messages.
+    pub fn quiet() -> Self {
+        Progress { verbose: false }
+    }
+
+    /// Map a `--quiet` CLI flag onto a reporter.
+    pub fn from_quiet_flag(quiet: bool) -> Self {
+        Progress { verbose: !quiet }
+    }
+
+    /// Whether informational messages are printed.
+    pub fn is_verbose(&self) -> bool {
+        self.verbose
+    }
+
+    /// Informational message for stdout (banners, configuration echoes).
+    /// Suppressed in quiet mode.
+    pub fn out(&self, args: fmt::Arguments<'_>) {
+        if self.verbose {
+            println!("{args}");
+        }
+    }
+
+    /// Progress note for stderr (per-item completion ticks). Suppressed
+    /// in quiet mode; kept off stdout so piped results stay clean.
+    pub fn note(&self, args: fmt::Arguments<'_>) {
+        if self.verbose {
+            eprintln!("{args}");
+        }
+    }
+
+    /// Error or panic context: always printed to stderr, regardless of
+    /// quiet mode.
+    pub fn error(&self, args: fmt::Arguments<'_>) {
+        eprintln!("{args}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_quiet() {
+        assert!(!Progress::default().is_verbose());
+        assert!(Progress::verbose().is_verbose());
+        assert!(!Progress::from_quiet_flag(true).is_verbose());
+        assert!(Progress::from_quiet_flag(false).is_verbose());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = Progress::verbose();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Progress = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,203 @@
+//! Event sinks: where trace events go.
+//!
+//! The engine is generic over one [`Sink`]; the trait's associated
+//! `ENABLED` constant lets it wrap every emit site in
+//! `if S::ENABLED { ... }`, which the compiler constant-folds away for
+//! [`NullSink`] — the traced and untraced engines compile to the same
+//! hot path, and the zero-allocation steady state is untouched.
+
+use crate::event::TraceEvent;
+
+/// A destination for [`TraceEvent`]s.
+///
+/// `record` must not panic on the hot path and must not depend on (or
+/// advance) any simulation RNG: the engine's determinism contract says a
+/// traced run and a [`NullSink`] run produce byte-identical reports.
+pub trait Sink {
+    /// Whether this sink observes events at all. The engine guards every
+    /// emit site with `if S::ENABLED`, so a `false` here removes the
+    /// instrumentation at compile time.
+    const ENABLED: bool = true;
+
+    /// Observe one event.
+    fn record(&mut self, event: TraceEvent);
+}
+
+/// The no-op sink: `ENABLED = false`, so engine instrumentation compiles
+/// to nothing. This is the engine's default sink type.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn record(&mut self, _event: TraceEvent) {}
+}
+
+/// An unbounded in-memory sink; handy for tests and replay analysis.
+#[derive(Clone, Debug, Default)]
+pub struct VecSink {
+    events: Vec<TraceEvent>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Everything recorded so far, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consume the sink, returning the recorded events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+impl Sink for VecSink {
+    #[inline]
+    fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+}
+
+/// A fixed-capacity ring buffer keeping the most recent events — the
+/// post-mortem sink: run with it attached, and when something goes wrong
+/// the tail of the story is still in memory at O(capacity) cost.
+#[derive(Clone, Debug)]
+pub struct RingSink {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Next write position once the buffer has wrapped.
+    head: usize,
+    /// Total events ever recorded (≥ `buf.len()`).
+    total: u64,
+}
+
+impl RingSink {
+    /// A ring keeping the last `capacity` events (`capacity ≥ 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "ring capacity must be at least 1");
+        RingSink {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            total: 0,
+        }
+    }
+
+    /// Maximum events retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever recorded, including those overwritten.
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// How many events were overwritten (lost to the fixed capacity).
+    pub fn dropped(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+impl Sink for RingSink {
+    #[inline]
+    fn record(&mut self, event: TraceEvent) {
+        self.total += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+}
+
+/// Fan one event stream out to two sinks (compose for more).
+#[derive(Clone, Debug, Default)]
+pub struct TeeSink<A, B>(pub A, pub B);
+
+impl<A: Sink, B: Sink> Sink for TeeSink<A, B> {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    #[inline]
+    fn record(&mut self, event: TraceEvent) {
+        self.0.record(event);
+        self.1.record(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent::new(cycle, EventKind::Inject, cycle as u32)
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        const { assert!(!NullSink::ENABLED) };
+        const { assert!(VecSink::ENABLED) };
+        NullSink.record(ev(0)); // and is a no-op
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_in_order() {
+        let mut r = RingSink::new(3);
+        for c in 0..5 {
+            r.record(ev(c));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total_recorded(), 5);
+        assert_eq!(r.dropped(), 2);
+        let cycles: Vec<u64> = r.events().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_below_capacity_is_untruncated() {
+        let mut r = RingSink::new(8);
+        r.record(ev(1));
+        r.record(ev(2));
+        assert_eq!(r.dropped(), 0);
+        let cycles: Vec<u64> = r.events().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![1, 2]);
+    }
+
+    #[test]
+    fn tee_duplicates_and_ors_enabled() {
+        let mut t = TeeSink(VecSink::new(), RingSink::new(2));
+        t.record(ev(1));
+        t.record(ev(2));
+        assert_eq!(t.0.events().len(), 2);
+        assert_eq!(t.1.len(), 2);
+        const { assert!(<TeeSink<VecSink, RingSink> as Sink>::ENABLED) };
+        const { assert!(!<TeeSink<NullSink, NullSink> as Sink>::ENABLED) };
+    }
+}

@@ -1,0 +1,358 @@
+//! Stall forensics: turn "the watchdog fired" into "who is waiting on
+//! whom, and which resource is the knot".
+//!
+//! The engine already maintains per-VC-slot wait lists for its wake
+//! machinery; when a message trips the deadlock watchdog those lists
+//! *are* the wait-for graph. [`StallDiagnosis::build`] walks that graph
+//! to name either a genuine cycle (messages waiting on each other in a
+//! ring — a true deadlock) or, failing that, the hottest contended
+//! resource (the VC slot with the most sleepers — a congestion hotspot).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One edge of the wait-for graph: `waiter` sleeps on `(channel, vc)`,
+/// which is currently held by `holder`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WaitEdge {
+    /// Slab id of the blocked message.
+    pub waiter: u32,
+    /// Physical channel of the contended VC slot.
+    pub channel: u32,
+    /// Virtual channel index of the contended slot.
+    pub vc: u8,
+    /// Slab id of the message currently occupying the slot.
+    pub holder: u32,
+}
+
+/// The most-contended VC slot among the wait edges.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hotspot {
+    /// Physical channel of the slot.
+    pub channel: u32,
+    /// Virtual channel index of the slot.
+    pub vc: u8,
+    /// Message holding the slot.
+    pub holder: u32,
+    /// Messages sleeping on it.
+    pub waiters: Vec<u32>,
+}
+
+/// Snapshot of one message involved in the stall.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StallMessage {
+    /// Slab id.
+    pub id: u32,
+    /// Source node coordinates.
+    pub src: (u16, u16),
+    /// Destination node coordinates.
+    pub dest: (u16, u16),
+    /// Current header position.
+    pub head: (u16, u16),
+    /// Whether the header is still at its source (no hop claimed yet).
+    pub at_source: bool,
+    /// Flits already drained at the destination.
+    pub delivered: u32,
+    /// Consecutive cycles the header has failed to allocate.
+    pub wait_cycles: u32,
+    /// Watchdog recoveries already applied to this message.
+    pub recoveries: u32,
+    /// `(channel, vc)` slots the worm currently occupies.
+    pub holds: Vec<(u32, u8)>,
+}
+
+/// The watchdog's structured report: what was stuck, on what, and why.
+///
+/// Built by the engine when a message trips the deadlock timeout;
+/// returned as a value so tests (and the trace bin) can assert on the
+/// identified resource instead of scraping stderr.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StallDiagnosis {
+    /// Cycle the watchdog fired.
+    pub cycle: u64,
+    /// The message that tripped the watchdog, if it was still routable.
+    pub focus: Option<StallMessage>,
+    /// How many active messages were blocked at that moment.
+    pub blocked_messages: usize,
+    /// The full wait-for edge set at that moment.
+    pub edges: Vec<WaitEdge>,
+    /// A wait-for cycle (each waits on the next; last waits on first),
+    /// if one exists — the signature of a true deadlock.
+    pub wait_cycle: Option<Vec<u32>>,
+    /// The most-contended VC slot, when any edge exists.
+    pub hotspot: Option<Hotspot>,
+}
+
+impl StallDiagnosis {
+    /// Analyse a wait-for edge set: find a cycle (preferring one through
+    /// `focus`) and the hottest slot.
+    pub fn build(
+        cycle: u64,
+        focus: Option<StallMessage>,
+        blocked_messages: usize,
+        edges: Vec<WaitEdge>,
+    ) -> Self {
+        let wait_cycle = find_cycle(&edges, focus.as_ref().map(|f| f.id));
+        let hotspot = find_hotspot(&edges);
+        StallDiagnosis {
+            cycle,
+            focus,
+            blocked_messages,
+            edges,
+            wait_cycle,
+            hotspot,
+        }
+    }
+
+    /// The one-line name of the blocking resource, for quick assertions:
+    /// the cycle if there is one, otherwise the hotspot slot.
+    pub fn names_resource(&self) -> Option<String> {
+        if let Some(cycle) = &self.wait_cycle {
+            let ids: Vec<String> = cycle.iter().map(|id| format!("m{id}")).collect();
+            return Some(format!("deadlock cycle: {}", ids.join(" -> ")));
+        }
+        self.hotspot.as_ref().map(|h| {
+            format!(
+                "hotspot: channel {} vc {} held by m{} ({} waiting)",
+                h.channel,
+                h.vc,
+                h.holder,
+                h.waiters.len()
+            )
+        })
+    }
+}
+
+impl fmt::Display for StallDiagnosis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "[stall] cycle {}: {} blocked message(s), {} wait edge(s)",
+            self.cycle,
+            self.blocked_messages,
+            self.edges.len()
+        )?;
+        if let Some(m) = &self.focus {
+            writeln!(
+                f,
+                "[stall]   focus m{}: ({},{}) -> ({},{}), head ({},{}){}, \
+                 {} flit(s) delivered, waited {} cycle(s), {} prior recover(ies)",
+                m.id,
+                m.src.0,
+                m.src.1,
+                m.dest.0,
+                m.dest.1,
+                m.head.0,
+                m.head.1,
+                if m.at_source { " (at source)" } else { "" },
+                m.delivered,
+                m.wait_cycles,
+                m.recoveries,
+            )?;
+            if !m.holds.is_empty() {
+                let holds: Vec<String> = m
+                    .holds
+                    .iter()
+                    .map(|(ch, vc)| format!("ch{ch}/vc{vc}"))
+                    .collect();
+                writeln!(f, "[stall]   focus holds: {}", holds.join(", "))?;
+            }
+        }
+        for e in &self.edges {
+            writeln!(
+                f,
+                "[stall]   m{} waits on ch{}/vc{} held by m{}",
+                e.waiter, e.channel, e.vc, e.holder
+            )?;
+        }
+        match self.names_resource() {
+            Some(name) => writeln!(f, "[stall]   verdict: {name}"),
+            None => writeln!(
+                f,
+                "[stall]   verdict: no wait edges (livelock or drained holder)"
+            ),
+        }
+    }
+}
+
+/// Find a wait-for cycle, preferring one reachable from `prefer`.
+///
+/// Each waiter may sleep on several slots; a message is only *truly*
+/// stuck while every candidate is busy, so any single edge is a real
+/// wait. We search the multigraph for a directed cycle over message ids.
+fn find_cycle(edges: &[WaitEdge], prefer: Option<u32>) -> Option<Vec<u32>> {
+    let mut adj: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(e.waiter).or_default().push(e.holder);
+    }
+    let starts = prefer
+        .into_iter()
+        .chain(adj.keys().copied())
+        .collect::<Vec<_>>();
+    for start in starts {
+        if let Some(cycle) = dfs_cycle(&adj, start) {
+            return Some(cycle);
+        }
+    }
+    None
+}
+
+/// Iterative DFS from `start`, returning the first directed cycle found.
+fn dfs_cycle(adj: &BTreeMap<u32, Vec<u32>>, start: u32) -> Option<Vec<u32>> {
+    // Path stack with per-node next-neighbour cursors.
+    let mut path: Vec<(u32, usize)> = vec![(start, 0)];
+    let mut on_path: Vec<u32> = vec![start];
+    while let Some(&mut (node, ref mut cursor)) = path.last_mut() {
+        let neighbours = adj.get(&node).map(|v| v.as_slice()).unwrap_or(&[]);
+        if *cursor >= neighbours.len() {
+            path.pop();
+            on_path.pop();
+            continue;
+        }
+        let next = neighbours[*cursor];
+        *cursor += 1;
+        if let Some(pos) = on_path.iter().position(|&n| n == next) {
+            return Some(on_path[pos..].to_vec());
+        }
+        // Depth is bounded by the number of distinct waiters, so this
+        // cannot run away even on dense graphs.
+        path.push((next, 0));
+        on_path.push(next);
+    }
+    None
+}
+
+/// The slot with the most waiters (ties: lowest (channel, vc)).
+fn find_hotspot(edges: &[WaitEdge]) -> Option<Hotspot> {
+    let mut by_slot: BTreeMap<(u32, u8), (u32, Vec<u32>)> = BTreeMap::new();
+    for e in edges {
+        let entry = by_slot
+            .entry((e.channel, e.vc))
+            .or_insert_with(|| (e.holder, Vec::new()));
+        entry.1.push(e.waiter);
+    }
+    by_slot
+        .into_iter()
+        .max_by_key(|((ch, vc), (_, waiters))| {
+            (
+                waiters.len(),
+                std::cmp::Reverse(*ch),
+                std::cmp::Reverse(*vc),
+            )
+        })
+        .map(|((channel, vc), (holder, waiters))| Hotspot {
+            channel,
+            vc,
+            holder,
+            waiters,
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(waiter: u32, channel: u32, vc: u8, holder: u32) -> WaitEdge {
+        WaitEdge {
+            waiter,
+            channel,
+            vc,
+            holder,
+        }
+    }
+
+    #[test]
+    fn detects_three_way_cycle() {
+        // a waits on b, b waits on c, c waits on a: classic ring.
+        let edges = vec![edge(0, 10, 0, 1), edge(1, 11, 0, 2), edge(2, 12, 0, 0)];
+        let d = StallDiagnosis::build(100, None, 3, edges);
+        let cycle = d.wait_cycle.clone().expect("cycle found");
+        assert_eq!(cycle.len(), 3);
+        // The cycle contains all three, in wait order starting anywhere.
+        let mut sorted = cycle.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+        let name = d.names_resource().unwrap();
+        assert!(name.starts_with("deadlock cycle:"), "{name}");
+    }
+
+    #[test]
+    fn no_cycle_reports_hotspot() {
+        // Three messages all waiting on the same slot held by m9.
+        let edges = vec![edge(1, 40, 2, 9), edge(2, 40, 2, 9), edge(3, 7, 0, 9)];
+        let d = StallDiagnosis::build(50, None, 4, edges);
+        assert!(d.wait_cycle.is_none());
+        let h = d.hotspot.clone().expect("hotspot found");
+        assert_eq!((h.channel, h.vc, h.holder), (40, 2, 9));
+        assert_eq!(h.waiters, vec![1, 2]);
+        let name = d.names_resource().unwrap();
+        assert!(name.contains("channel 40 vc 2"), "{name}");
+        assert!(name.contains("2 waiting"), "{name}");
+    }
+
+    #[test]
+    fn prefers_cycle_through_focus() {
+        // Two disjoint cycles; the focus is in the second one.
+        let edges = vec![
+            edge(0, 1, 0, 1),
+            edge(1, 2, 0, 0),
+            edge(5, 3, 0, 6),
+            edge(6, 4, 0, 5),
+        ];
+        let focus = StallMessage {
+            id: 5,
+            src: (0, 0),
+            dest: (3, 3),
+            head: (1, 1),
+            at_source: false,
+            delivered: 0,
+            wait_cycles: 400,
+            recoveries: 0,
+            holds: vec![(3, 0)],
+        };
+        let d = StallDiagnosis::build(10, Some(focus), 4, edges);
+        let cycle = d.wait_cycle.expect("cycle found");
+        assert!(cycle.contains(&5), "focus cycle preferred: {cycle:?}");
+    }
+
+    #[test]
+    fn empty_edges_name_nothing() {
+        let d = StallDiagnosis::build(1, None, 0, Vec::new());
+        assert!(d.wait_cycle.is_none());
+        assert!(d.hotspot.is_none());
+        assert!(d.names_resource().is_none());
+        // Display still renders without panicking.
+        let text = format!("{d}");
+        assert!(text.contains("no wait edges"), "{text}");
+    }
+
+    #[test]
+    fn display_dumps_edges_and_focus() {
+        let focus = StallMessage {
+            id: 7,
+            src: (0, 1),
+            dest: (5, 5),
+            head: (2, 1),
+            at_source: false,
+            delivered: 3,
+            wait_cycles: 301,
+            recoveries: 1,
+            holds: vec![(12, 1), (13, 1)],
+        };
+        let d = StallDiagnosis::build(999, Some(focus), 2, vec![edge(7, 20, 0, 8)]);
+        let text = format!("{d}");
+        assert!(text.contains("cycle 999"), "{text}");
+        assert!(text.contains("focus m7"), "{text}");
+        assert!(text.contains("ch12/vc1, ch13/vc1"), "{text}");
+        assert!(text.contains("m7 waits on ch20/vc0 held by m8"), "{text}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = StallDiagnosis::build(5, None, 1, vec![edge(1, 2, 3, 4)]);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: StallDiagnosis = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

@@ -89,6 +89,26 @@ impl Serializer {
         value.serialize(self);
     }
 
+    /// Write an object key and the `:` separator, leaving the value
+    /// position open for imperative construction (`begin_map`,
+    /// `begin_seq`, or a `write_*` primitive). [`Serializer::field`]
+    /// covers the common case where the value implements `Serialize`.
+    pub fn key(&mut self, key: &str) {
+        self.prepare_slot();
+        self.write_escaped(key);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+    }
+
+    /// Prepare an array-element position for imperative construction.
+    /// [`Serializer::elem`] covers the common case where the element
+    /// implements `Serialize`.
+    pub fn slot(&mut self) {
+        self.prepare_slot();
+    }
+
     /// Open a JSON array.
     pub fn begin_seq(&mut self) {
         self.out.push('[');
@@ -268,6 +288,22 @@ mod tests {
         s.begin_seq();
         s.end_seq();
         assert_eq!(s.finish(), "[]");
+    }
+
+    #[test]
+    fn imperative_key_and_slot_match_field_and_elem() {
+        let mut a = Serializer::compact();
+        a.begin_map();
+        a.key("xs");
+        a.begin_seq();
+        a.slot();
+        a.begin_map();
+        a.field("v", &1u32);
+        a.end_map();
+        a.elem(&2u32);
+        a.end_seq();
+        a.end_map();
+        assert_eq!(a.finish(), "{\"xs\":[{\"v\":1},2]}");
     }
 
     #[test]
