@@ -68,6 +68,9 @@ impl FaultDriver for ChaosDriver {
         let ctx = Arc::new(self.ctx.with_pattern(pattern));
         self.ctx = ctx.clone();
         let algo = build_algorithm(self.kind, ctx.clone(), self.vc);
-        Some(FaultActivation { ctx, algo })
+        Some(FaultActivation {
+            ctx,
+            algo: algo.into(),
+        })
     }
 }

@@ -19,8 +19,10 @@ pub struct FaultActivation {
     /// Context built against the extended pattern (see
     /// `RoutingContext::with_pattern`).
     pub ctx: Arc<RoutingContext>,
-    /// Algorithm instance bound to `ctx`.
-    pub algo: Box<dyn RoutingAlgorithm>,
+    /// Algorithm instance bound to `ctx`. Shared (`Arc`) so the simulator
+    /// can install it without reallocating; `Box<dyn RoutingAlgorithm>`
+    /// converts with `.into()`.
+    pub algo: Arc<dyn RoutingAlgorithm>,
 }
 
 /// Produces fault activations as simulation time passes.

@@ -31,13 +31,22 @@ use wormsim_traffic::{DestinationSampler, Injector, Workload};
 /// [`Simulator::with_sink`].
 pub struct Simulator<S: Sink = NullSink> {
     cfg: SimConfig,
-    algo: Box<dyn RoutingAlgorithm>,
+    algo: Arc<dyn RoutingAlgorithm>,
     ctx: Arc<RoutingContext>,
     workload: Workload,
     num_vcs: u8,
 
     /// VC ownership: `slots[ch.index() * num_vcs + vc]` = owning message.
     slots: Vec<Option<u32>>,
+    /// Per-channel VC occupancy bitmask: bit `vc` of `occ_mask[ch]` is set
+    /// iff `slots[ch * num_vcs + vc]` is `Some`. The allocator's candidate
+    /// gather works on these masks with `trailing_zeros` loops instead of
+    /// probing `slots` per VC (`num_vcs ≤ 32`, enforced at construction).
+    occ_mask: Vec<u32>,
+    /// Per-channel wake-flag bitmask: bit `vc` of `waiter_mask[ch]` is set
+    /// iff `waiters[ch * num_vcs + vc]` is non-empty, so release paths and
+    /// the stall scanner skip empty wake lists without loading them.
+    waiter_mask: Vec<u32>,
     msgs: Vec<Msg>,
     free_list: Vec<u32>,
     /// Messages currently in the network or injecting.
@@ -131,9 +140,10 @@ pub struct Simulator<S: Sink = NullSink> {
 
 impl Simulator {
     /// Build an untraced simulator. The algorithm must be bound to the
-    /// same context.
+    /// same context. Accepts `Box<dyn RoutingAlgorithm>` (as built by
+    /// `build_algorithm`) or an already-shared `Arc<dyn RoutingAlgorithm>`.
     pub fn new(
-        algo: Box<dyn RoutingAlgorithm>,
+        algo: impl Into<Arc<dyn RoutingAlgorithm>>,
         ctx: Arc<RoutingContext>,
         workload: Workload,
         cfg: SimConfig,
@@ -147,15 +157,17 @@ impl<S: Sink> Simulator<S> {
     /// byte-identical to [`Simulator::new`] — sinks observe, they never
     /// perturb (no RNG draws happen on the emit paths).
     pub fn with_sink(
-        algo: Box<dyn RoutingAlgorithm>,
+        algo: impl Into<Arc<dyn RoutingAlgorithm>>,
         ctx: Arc<RoutingContext>,
         workload: Workload,
         cfg: SimConfig,
         sink: S,
     ) -> Self {
+        let algo = algo.into();
         let mesh = ctx.mesh();
         let num_nodes = mesh.num_nodes();
         let num_vcs = algo.num_vcs();
+        assert!(num_vcs as usize <= 32, "occupancy bitmasks hold 32 VCs");
         let pattern = ctx.pattern();
         let healthy: Vec<NodeId> = pattern.healthy_nodes(mesh).collect();
         let num_healthy = healthy.len();
@@ -178,6 +190,8 @@ impl<S: Sink> Simulator<S> {
             workload,
             num_vcs,
             slots: vec![None; mesh.num_channel_slots() * num_vcs as usize],
+            occ_mask: vec![0; mesh.num_channel_slots()],
+            waiter_mask: vec![0; mesh.num_channel_slots()],
             msgs: Vec::new(),
             free_list: Vec::new(),
             active: Vec::new(),
@@ -225,6 +239,120 @@ impl<S: Sink> Simulator<S> {
             cfg,
             ctx,
         }
+    }
+
+    /// Rewind this simulator for a fresh run with a (possibly different)
+    /// algorithm, context, workload, and schedule, reusing every
+    /// population-dependent allocation: the message slab (per-message
+    /// `PathBuf` capacities included), source queues, scratch buffers,
+    /// wake lists, and statistics vectors. Once a first run has sized
+    /// those structures, a same-shape `reset` + run performs no heap
+    /// allocation (asserted by `bench_engine`'s counting allocator).
+    ///
+    /// Determinism: the run after a `reset` is byte-identical to one on a
+    /// freshly constructed simulator with the same arguments. The one
+    /// subtle requirement is message-id order — ids are slab indices and
+    /// act as tie-breakers in oldest-first arbitration — so the free list
+    /// is rebuilt in descending order, making recycled ids pop in creation
+    /// order `0, 1, 2, …` exactly as a fresh slab would assign them.
+    pub fn reset(
+        &mut self,
+        algo: impl Into<Arc<dyn RoutingAlgorithm>>,
+        ctx: Arc<RoutingContext>,
+        workload: Workload,
+        cfg: SimConfig,
+    ) {
+        let algo = algo.into();
+        let num_vcs = algo.num_vcs();
+        assert!(num_vcs as usize <= 32, "occupancy bitmasks hold 32 VCs");
+        self.algo = algo;
+        self.ctx = ctx;
+        self.workload = workload;
+        self.cfg = cfg;
+        self.num_vcs = num_vcs;
+        let mesh = self.ctx.mesh().clone();
+        let num_nodes = mesh.num_nodes();
+        let num_channels = mesh.num_channel_slots();
+        let num_slots = num_channels * num_vcs as usize;
+
+        self.slots.resize(num_slots, None);
+        self.slots.iter_mut().for_each(|s| *s = None);
+        self.occ_mask.resize(num_channels, 0);
+        self.occ_mask.iter_mut().for_each(|m| *m = 0);
+        self.waiter_mask.resize(num_channels, 0);
+        self.waiter_mask.iter_mut().for_each(|m| *m = 0);
+        self.waiters.resize_with(num_slots, Vec::new);
+        for w in &mut self.waiters {
+            w.clear();
+        }
+        self.link_used.resize(num_channels, 0);
+        self.link_used.iter_mut().for_each(|u| *u = 0);
+        self.eject_used.resize(num_nodes, 0);
+        self.eject_used.iter_mut().for_each(|u| *u = 0);
+
+        // Park the whole slab (path capacities survive) and rebuild the
+        // free list descending so pops recycle ids in ascending order.
+        for m in &mut self.msgs {
+            m.path.clear();
+            m.alive = false;
+        }
+        self.free_list.clear();
+        self.free_list.extend((0..self.msgs.len() as u32).rev());
+        self.active.clear();
+        self.ordered.clear();
+        self.order.clear();
+        self.stuck_scratch.clear();
+        self.eligible_scratch.clear();
+        self.busy_scratch.clear();
+        self.freed_scratch.clear();
+
+        self.queues.resize_with(num_nodes, VecDeque::new);
+        for q in &mut self.queues {
+            q.clear();
+        }
+        self.injecting.resize(num_nodes, None);
+        self.injecting.iter_mut().for_each(|p| *p = None);
+        let pattern = self.ctx.pattern();
+        let rate = self.workload.rate;
+        self.injectors.clear();
+        self.injectors.extend(mesh.nodes().map(|n| {
+            if pattern.is_faulty(n) {
+                Injector::new(0.0)
+            } else {
+                Injector::new(rate)
+            }
+        }));
+        self.sampler
+            .reset(self.workload.pattern, &mesh, pattern.healthy_nodes(&mesh));
+        let num_healthy = self.sampler.healthy().len();
+        self.rng = SmallRng::seed_from_u64(self.cfg.seed);
+        self.cycle = 0;
+        self.recheck_wait = self.algo.recheck_wait();
+
+        self.latency.reset();
+        self.network_latency.reset();
+        self.throughput.reset(num_healthy);
+        self.vc_usage.reset(num_vcs, mesh.channels().count());
+        self.node_load.reset(num_nodes);
+        self.recoveries = 0;
+        self.ring_hops = 0;
+        self.total_misroutes = 0;
+        self.fault_driver = None;
+        self.recovery = None;
+        self.backoff.clear();
+        self.pending_settle.clear();
+        self.delivered_window.clear();
+        self.window_sum = 0;
+        self.delivered_this_cycle = 0;
+        self.telemetry = if self.cfg.telemetry_window > 0 {
+            Some(TelemetryCollector::new(self.cfg.telemetry_window))
+        } else {
+            None
+        };
+        self.last_stall = None;
+        self.injected_this_cycle = 0;
+        self.blocked_this_cycle = 0;
+        self.completed_this_cycle = 0;
     }
 
     /// The attached trace sink.
@@ -395,11 +523,6 @@ impl<S: Sink> Simulator<S> {
                 .push(Msg::new(src, dest, length, self.cycle, state));
             MsgId(self.msgs.len() as u32 - 1)
         }
-    }
-
-    #[inline]
-    fn key(&self, ch: ChannelId, vc: u8) -> u32 {
-        ch.0 * self.num_vcs as u32 + vc as u32
     }
 
     #[inline]
@@ -622,6 +745,29 @@ impl<S: Sink> Simulator<S> {
                     "routable header stuck in the Moving phase"
                 );
             }
+        }
+        // 7. Bitmask mirrors: occupancy bits track `slots`, wake flags
+        // track wake-list non-emptiness, bit for bit.
+        for ch in 0..self.occ_mask.len() {
+            let mut expect_occ = 0u32;
+            let mut expect_wait = 0u32;
+            for vc in 0..self.num_vcs as u32 {
+                let key = (ch as u32 * self.num_vcs as u32 + vc) as usize;
+                if self.slots[key].is_some() {
+                    expect_occ |= 1 << vc;
+                }
+                if !self.waiters[key].is_empty() {
+                    expect_wait |= 1 << vc;
+                }
+            }
+            assert_eq!(
+                self.occ_mask[ch], expect_occ,
+                "occupancy bitmask out of sync with slots on channel {ch}"
+            );
+            assert_eq!(
+                self.waiter_mask[ch], expect_wait,
+                "wake-flag bitmask out of sync with wake lists on channel {ch}"
+            );
         }
     }
 
@@ -900,6 +1046,7 @@ impl<S: Sink> Simulator<S> {
         let mut busy = std::mem::take(&mut self.busy_scratch);
         eligible.clear();
         busy.clear();
+        let allowed = vc_width_mask(self.num_vcs);
         for tier in 0..2 {
             for hop in cands.iter() {
                 let mask = if tier == 0 {
@@ -912,17 +1059,13 @@ impl<S: Sink> Simulator<S> {
                 }
                 let ch = mesh.channel(head, hop.dir);
                 debug_assert!(mesh.channel_exists(ch), "candidate off-mesh");
-                for vc in mask.iter() {
-                    if vc >= self.num_vcs {
-                        break;
-                    }
-                    let key = self.key(ch, vc);
-                    if self.slots[key as usize].is_none() {
-                        eligible.push((key, vc));
-                    } else {
-                        busy.push(key);
-                    }
-                }
+                expand_candidates(
+                    mask.0 & allowed,
+                    self.occ_mask[ch.0 as usize],
+                    ch.0 * self.num_vcs as u32,
+                    &mut eligible,
+                    &mut busy,
+                );
             }
             if !eligible.is_empty() {
                 break;
@@ -941,6 +1084,8 @@ impl<S: Sink> Simulator<S> {
                 if !list.contains(&id) {
                     list.push(id);
                 }
+                self.waiter_mask[(key / self.num_vcs as u32) as usize] |=
+                    1 << (key % self.num_vcs as u32);
             }
             self.eligible_scratch = eligible;
             self.busy_scratch = busy;
@@ -966,6 +1111,7 @@ impl<S: Sink> Simulator<S> {
             self.ring_hops += 1;
         }
         self.slots[key as usize] = Some(id);
+        self.occ_mask[ch.0 as usize] |= 1 << vc;
         self.vc_usage.acquire(vc);
         if S::ENABLED {
             self.sink.record(
@@ -1010,11 +1156,15 @@ impl<S: Sink> Simulator<S> {
     fn wake_waiters(&mut self, key: u32) {
         let ch = key / self.num_vcs as u32;
         let vc = (key % self.num_vcs as u32) as u8;
-        let cycle = self.cycle;
-        let list = &mut self.waiters[key as usize];
-        if list.is_empty() {
+        // The wake flag mirrors list non-emptiness: one bit test replaces
+        // loading the (cache-cold) list header for the common empty case.
+        if self.waiter_mask[ch as usize] & (1 << vc) == 0 {
             return;
         }
+        self.waiter_mask[ch as usize] &= !(1 << vc);
+        let cycle = self.cycle;
+        let list = &mut self.waiters[key as usize];
+        debug_assert!(!list.is_empty(), "wake flag set on an empty list");
         for &wid in list.iter() {
             let wm = &mut self.msgs[wid as usize];
             if wm.alive && wm.alloc == AllocPhase::Blocked {
@@ -1193,6 +1343,7 @@ impl<S: Sink> Simulator<S> {
             let front = m.path[0];
             if front.entered == m.length && front.occ == 0 {
                 self.slots[front.key as usize] = None;
+                self.occ_mask[front.ch as usize] &= !(1 << front.vc);
                 self.vc_usage.release(front.vc);
                 freed.push(front.key);
                 m.path.pop_front();
@@ -1205,6 +1356,7 @@ impl<S: Sink> Simulator<S> {
         if m.is_complete() {
             for e in &m.path {
                 self.slots[e.key as usize] = None;
+                self.occ_mask[e.ch as usize] &= !(1 << e.vc);
                 self.vc_usage.release(e.vc);
                 freed.push(e.key);
             }
@@ -1303,8 +1455,9 @@ impl<S: Sink> Simulator<S> {
                 self.injectors[idx] = Injector::new(0.0);
             }
         }
-        let healthy: Vec<NodeId> = self.ctx.pattern().healthy_nodes(&mesh).collect();
-        self.sampler = DestinationSampler::new(self.workload.pattern, &mesh, healthy);
+        let pattern = self.ctx.pattern();
+        self.sampler
+            .reset(self.workload.pattern, &mesh, pattern.healthy_nodes(&mesh));
 
         // In-flight triage, in `active` order (deterministic).
         let snapshot: Vec<u32> = self.active.clone();
@@ -1415,6 +1568,7 @@ impl<S: Sink> Simulator<S> {
         for list in &mut self.waiters {
             list.clear();
         }
+        self.waiter_mask.iter_mut().for_each(|m| *m = 0);
         for &id in &self.active {
             self.msgs[id as usize].alloc = AllocPhase::Contend;
         }
@@ -1430,6 +1584,7 @@ impl<S: Sink> Simulator<S> {
         let m = &mut self.msgs[id as usize];
         for e in &m.path {
             self.slots[e.key as usize] = None;
+            self.occ_mask[e.ch as usize] &= !(1 << e.vc);
             self.vc_usage.release(e.vc);
             freed.push(e.key);
         }
@@ -1458,6 +1613,7 @@ impl<S: Sink> Simulator<S> {
             let m = &mut self.msgs[id as usize];
             for e in &m.path {
                 self.slots[e.key as usize] = None;
+                self.occ_mask[e.ch as usize] &= !(1 << e.vc);
                 self.vc_usage.release(e.vc);
                 freed.push(e.key);
             }
@@ -1536,6 +1692,7 @@ impl<S: Sink> Simulator<S> {
             let m = &mut self.msgs[id as usize];
             for e in &m.path {
                 self.slots[e.key as usize] = None;
+                self.occ_mask[e.ch as usize] &= !(1 << e.vc);
                 self.vc_usage.release(e.vc);
                 freed.push(e.key);
             }
@@ -1591,27 +1748,14 @@ impl<S: Sink> Simulator<S> {
     /// and side-effect free — callable from tests at any cycle.
     pub fn diagnose_stall(&self, focus: Option<MsgId>) -> StallDiagnosis {
         let mut edges = Vec::new();
-        for (key, list) in self.waiters.iter().enumerate() {
-            if list.is_empty() {
-                continue;
-            }
-            let Some(holder) = self.slots[key] else {
-                // Freed but not yet drained: its sleepers are about to wake.
-                continue;
-            };
-            let channel = self.key_channel(key as u32).0;
-            let vc = self.key_vc(key as u32);
-            for &waiter in list {
-                let wm = &self.msgs[waiter as usize];
-                // Stale entries (moved on, died, recycled) are not waiting.
-                if wm.alive && wm.alloc == AllocPhase::Blocked {
-                    edges.push(WaitEdge {
-                        waiter,
-                        channel,
-                        vc,
-                        holder,
-                    });
-                }
+        // The wake-flag masks locate non-empty lists: one `trailing_zeros`
+        // loop per channel instead of scanning every (channel, VC) slot.
+        for (ch, &mask) in self.waiter_mask.iter().enumerate() {
+            let mut bits = mask;
+            while bits != 0 {
+                let vc = bits.trailing_zeros() as u8;
+                bits &= bits - 1;
+                self.stall_edges_for(ch as u32, vc, &mut edges);
             }
         }
         let blocked = self
@@ -1624,6 +1768,27 @@ impl<S: Sink> Simulator<S> {
             .count();
         let focus = focus.map(|id| self.stall_message(id.0));
         StallDiagnosis::build(self.cycle, focus, blocked, edges)
+    }
+
+    /// Collect the wait-for edges of one (channel, VC) slot's wake list.
+    fn stall_edges_for(&self, channel: u32, vc: u8, edges: &mut Vec<WaitEdge>) {
+        let key = channel * self.num_vcs as u32 + vc as u32;
+        let Some(holder) = self.slots[key as usize] else {
+            // Freed but not yet drained: its sleepers are about to wake.
+            return;
+        };
+        for &waiter in &self.waiters[key as usize] {
+            let wm = &self.msgs[waiter as usize];
+            // Stale entries (moved on, died, recycled) are not waiting.
+            if wm.alive && wm.alloc == AllocPhase::Blocked {
+                edges.push(WaitEdge {
+                    waiter,
+                    channel,
+                    vc,
+                    holder,
+                });
+            }
+        }
     }
 
     /// Snapshot one message's situation for a stall report.
@@ -1648,9 +1813,50 @@ impl<S: Sink> Simulator<S> {
     }
 }
 
+/// All-ones mask over the low `num_vcs` bits (`u32::MAX` at the full
+/// 32-VC width, where `1 << 32` would overflow).
+#[inline]
+fn vc_width_mask(num_vcs: u8) -> u32 {
+    if num_vcs >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << num_vcs) - 1
+    }
+}
+
+/// Expand one candidate hop's VC mask against the channel's occupancy
+/// bitmask: free VCs append `(slot key, vc)` to `eligible`, occupied ones
+/// append their slot key to `busy`, both in ascending VC order — exactly
+/// the order the per-VC probe loop over `slots` used to produce, so the
+/// allocator's RNG-visible candidate list is unchanged. `bits` must
+/// already be clipped to the engine's VC width and `base` is the
+/// channel's first slot key (`ch * num_vcs`).
+#[inline]
+fn expand_candidates(
+    bits: u32,
+    occ: u32,
+    base: u32,
+    eligible: &mut Vec<(u32, u8)>,
+    busy: &mut Vec<u32>,
+) {
+    let mut free = bits & !occ;
+    while free != 0 {
+        let vc = free.trailing_zeros();
+        free &= free - 1;
+        eligible.push((base + vc, vc as u8));
+    }
+    let mut taken = bits & occ;
+    while taken != 0 {
+        let vc = taken.trailing_zeros();
+        taken &= taken - 1;
+        busy.push(base + vc);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::Arbitration;
     use wormsim_fault::FaultPattern;
     use wormsim_routing::{build_algorithm, AlgorithmKind, VcConfig};
     use wormsim_topology::{Coord, Mesh, Rect};
@@ -1975,7 +2181,10 @@ mod tests {
             .expect("extension acceptable");
         let ctx = Arc::new(base.with_pattern(pattern));
         let algo = build_algorithm(kind, ctx.clone(), VcConfig::paper());
-        FaultActivation { ctx, algo }
+        FaultActivation {
+            ctx,
+            algo: algo.into(),
+        }
     }
 
     fn install_events(sim: &mut Simulator, events: Vec<(u64, FaultActivation)>) {
@@ -2268,7 +2477,11 @@ mod tests {
             let holder = ids[(i + 1) % 3];
             sim.msgs[ids[i] as usize].alloc = AllocPhase::Blocked;
             sim.slots[keys[i] as usize] = Some(holder);
+            sim.occ_mask[(keys[i] / sim.num_vcs as u32) as usize] |=
+                1 << (keys[i] % sim.num_vcs as u32);
             sim.waiters[keys[i] as usize].push(ids[i]);
+            sim.waiter_mask[(keys[i] / sim.num_vcs as u32) as usize] |=
+                1 << (keys[i] % sim.num_vcs as u32);
         }
         let diag = sim.diagnose_stall(Some(MsgId(ids[0])));
         assert_eq!(diag.edges.len(), 3);
@@ -2284,7 +2497,10 @@ mod tests {
         // Clean up the forgery so Drop-time invariants (if any) stay happy.
         for &key in &keys {
             sim.slots[key as usize] = None;
+            sim.occ_mask[(key / sim.num_vcs as u32) as usize] &= !(1 << (key % sim.num_vcs as u32));
             sim.waiters[key as usize].clear();
+            sim.waiter_mask[(key / sim.num_vcs as u32) as usize] &=
+                !(1 << (key % sim.num_vcs as u32));
         }
     }
 
@@ -2316,5 +2532,99 @@ mod tests {
         let text = format!("{diag}");
         assert!(text.contains("[stall]"), "{text}");
         assert!(text.contains("verdict:"), "{text}");
+    }
+
+    /// Reference candidate gather: the per-VC probe loop over `slots` that
+    /// [`expand_candidates`] replaced, kept as the oracle.
+    fn expand_by_array_scan(
+        mask: wormsim_routing::VcMask,
+        num_vcs: u8,
+        slots: &[Option<u32>],
+        base: u32,
+        eligible: &mut Vec<(u32, u8)>,
+        busy: &mut Vec<u32>,
+    ) {
+        for vc in mask.iter() {
+            if vc >= num_vcs {
+                break;
+            }
+            let key = base + vc as u32;
+            if slots[key as usize].is_none() {
+                eligible.push((key, vc));
+            } else {
+                busy.push(key);
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn bitmask_expansion_matches_array_scan(
+            mask_bits in proptest::prelude::any::<u32>(),
+            occ_bits in proptest::prelude::any::<u32>(),
+            num_vcs in 1u8..=32,
+            ch in 0u32..16,
+        ) {
+            let allowed = vc_width_mask(num_vcs);
+            let occ = occ_bits & allowed;
+            // Materialize the occupancy mask as a slots array for the
+            // oracle (owner id is irrelevant to the scan).
+            let mut slots = vec![None; 16 * num_vcs as usize];
+            let base = ch * num_vcs as u32;
+            for vc in 0..num_vcs as u32 {
+                if occ & (1 << vc) != 0 {
+                    slots[(base + vc) as usize] = Some(0u32);
+                }
+            }
+            let mask = wormsim_routing::VcMask(mask_bits);
+            let (mut e1, mut b1) = (Vec::new(), Vec::new());
+            expand_candidates(mask.0 & allowed, occ, base, &mut e1, &mut b1);
+            let (mut e2, mut b2) = (Vec::new(), Vec::new());
+            expand_by_array_scan(mask, num_vcs, &slots, base, &mut e2, &mut b2);
+            proptest::prop_assert_eq!(e1, e2);
+            proptest::prop_assert_eq!(b1, b2);
+        }
+    }
+
+    #[test]
+    fn reset_reuses_slab_and_matches_fresh_run() {
+        // A simulator reset between runs — algorithm, pattern, rate, and
+        // seed all changing — must produce reports byte-identical to fresh
+        // construction, including under oldest-first arbitration where
+        // recycled message ids act as tie-breakers.
+        let mesh = Mesh::square(10);
+        let cases = [
+            (AlgorithmKind::Duato, 0.004, 11, Arbitration::Random),
+            (AlgorithmKind::Nbc, 0.008, 22, Arbitration::OldestFirst),
+            (AlgorithmKind::FullyAdaptive, 0.002, 33, Arbitration::Random),
+        ];
+        let patterns = [
+            FaultPattern::fault_free(&mesh),
+            FaultPattern::from_rects(&mesh, &[Rect::new(Coord::new(4, 4), Coord::new(5, 5))])
+                .unwrap(),
+            FaultPattern::fault_free(&mesh),
+        ];
+        let mut reused = make_sim(AlgorithmKind::Xy, fault_free(), 0.001, SimConfig::quick());
+        let _ = reused.run();
+        for ((kind, rate, seed, arb), pattern) in cases.into_iter().zip(patterns) {
+            let cfg = SimConfig {
+                warmup_cycles: 100,
+                measure_cycles: 400,
+                ..SimConfig::quick().with_seed(seed).with_arbitration(arb)
+            };
+            let ctx = Arc::new(RoutingContext::new(mesh.clone(), pattern));
+            let algo = build_algorithm(kind, ctx.clone(), VcConfig::paper());
+            let wl = Workload::paper_uniform(rate);
+            reused.reset(algo, ctx.clone(), wl.clone(), cfg);
+            let warm = reused.run();
+            reused.check_invariants();
+            let algo = build_algorithm(kind, ctx.clone(), VcConfig::paper());
+            let fresh = Simulator::new(algo, ctx, wl, cfg).run();
+            assert_eq!(
+                serde_json::to_string(&warm).unwrap(),
+                serde_json::to_string(&fresh).unwrap(),
+                "reset-reused run diverged for {kind:?}"
+            );
+        }
     }
 }

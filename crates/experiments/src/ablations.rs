@@ -10,6 +10,7 @@ use crate::runner::{derive_seed, parallel_map_with_progress, run_custom, CustomS
 use crate::table::Table;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use wormsim_engine::Arbitration;
 use wormsim_fault::{random_pattern, FaultPattern};
 use wormsim_routing::{min_total_vcs, AlgorithmKind, VcConfig};
@@ -23,7 +24,7 @@ fn base_spec(cfg: &ExperimentConfig, kind: AlgorithmKind, rate: f64, seed: u64) 
         vc: cfg.vc,
         sim: cfg.sim.with_seed(seed),
         kind,
-        pattern: FaultPattern::fault_free(&mesh),
+        pattern: Arc::new(FaultPattern::fault_free(&mesh)),
         workload: Workload::paper_uniform(rate),
     }
 }
@@ -297,9 +298,9 @@ pub fn ablation_misroute_limit(cfg: &ExperimentConfig) -> FigureResult {
     let mesh = Mesh::square(cfg.mesh_size);
     let mut rng = SmallRng::seed_from_u64(derive_seed(cfg.base_seed, 14, 0, 0));
     let faulty = random_pattern(&mesh, 10, &mut rng).expect("pattern");
-    let cases: Vec<(&str, FaultPattern)> = vec![
-        ("fault-free", FaultPattern::fault_free(&mesh)),
-        ("10% faults", faulty),
+    let cases: Vec<(&str, Arc<FaultPattern>)> = vec![
+        ("fault-free", Arc::new(FaultPattern::fault_free(&mesh))),
+        ("10% faults", Arc::new(faulty)),
     ];
     let mut specs = Vec::new();
     for (li, &limit) in limits.iter().enumerate() {
@@ -356,7 +357,7 @@ pub fn ablation_arbitration(cfg: &ExperimentConfig) -> FigureResult {
         AlgorithmKind::PHop,
     ];
     let mesh = Mesh::square(cfg.mesh_size);
-    let pattern = paper_52_layout(&mesh);
+    let pattern = Arc::new(paper_52_layout(&mesh));
     let arbs = [
         ("random", Arbitration::Random),
         ("oldest-first", Arbitration::OldestFirst),
@@ -432,9 +433,9 @@ pub fn ablation_turn_models(cfg: &ExperimentConfig) -> FigureResult {
     let mesh = Mesh::square(cfg.mesh_size);
     let mut rng = SmallRng::seed_from_u64(derive_seed(cfg.base_seed, 16, 0, 0));
     let faulty = random_pattern(&mesh, 10, &mut rng).expect("pattern");
-    let cases: Vec<(&str, FaultPattern)> = vec![
-        ("fault-free", FaultPattern::fault_free(&mesh)),
-        ("10% faults", faulty),
+    let cases: Vec<(&str, Arc<FaultPattern>)> = vec![
+        ("fault-free", Arc::new(FaultPattern::fault_free(&mesh))),
+        ("10% faults", Arc::new(faulty)),
     ];
     let mut specs = Vec::new();
     for (ci, (_, p)) in cases.iter().enumerate() {
@@ -516,7 +517,7 @@ pub fn ablation_mesh_size(cfg: &ExperimentConfig) -> FigureResult {
                 derive_seed(cfg.base_seed, 17, si as u64, ki as u64),
             );
             s.mesh_size = k;
-            s.pattern = FaultPattern::fault_free(&mesh);
+            s.pattern = Arc::new(FaultPattern::fault_free(&mesh));
             s.vc = VcConfig::with_total(needed);
             specs.push(s);
         }

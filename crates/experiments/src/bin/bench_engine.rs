@@ -12,13 +12,24 @@
 //! count at the warm-up boundary and the run aborts if the measurement
 //! window performs any heap allocation.
 //!
+//! Alongside the single paper-scale run, a **sweep-throughput** section
+//! times a fixed fig-4-shaped batch (every roster algorithm × three
+//! fault cases at full load, quick scale) through the harness's
+//! reuse machinery — one simulator rewound with `Simulator::reset`,
+//! contexts and algorithms shared through `ContextCache` — against the
+//! old per-run-rebuild path, recording runs/sec for both and asserting
+//! the two produce byte-identical reports. The timed reused passes must
+//! perform zero heap allocations, resets included.
+//!
 //! With `--check BASELINE.json` the run becomes a regression gate
 //! against a committed record: the report fingerprint must match
 //! exactly (simulation results are deterministic and machine-
-//! independent), and cycles/sec must stay above 85 % of the baseline.
-//! Set `WORMSIM_SKIP_PERF_GATE=1` to skip the throughput threshold —
+//! independent), and cycles/sec — plus the sweep's runs/sec — must stay
+//! above 85 % of the baseline.
+//! Set `WORMSIM_SKIP_PERF_GATE=1` to skip the throughput thresholds —
 //! e.g. on throttled or heavily shared CI machines — while keeping the
-//! fingerprint check.
+//! fingerprint checks. `--sweep-only` runs (and gates) just the sweep
+//! section: the cheap CI smoke mode.
 //!
 //! ```text
 //! cargo run --release -p wormsim-experiments --bin bench_engine
@@ -26,6 +37,8 @@
 //!     --out BENCH_engine.json --dump-report report.json --repeats 3
 //! cargo run --release -p wormsim-experiments --bin bench_engine -- \
 //!     --repeats 1 --check BENCH_engine.json
+//! cargo run --release -p wormsim-experiments --bin bench_engine -- \
+//!     --sweep-only --repeats 1 --check BENCH_engine.json
 //! ```
 
 use serde::Serialize;
@@ -34,6 +47,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use wormsim_engine::{SimConfig, Simulator};
+use wormsim_experiments::ContextCache;
 use wormsim_fault::FaultPattern;
 use wormsim_metrics::SimReport;
 use wormsim_routing::{build_algorithm, AlgorithmKind, RoutingContext, VcConfig};
@@ -103,6 +117,35 @@ struct BenchRecord {
     /// FNV-1a over the run's serialized `SimReport`: the simulation-result
     /// identity for this seed. Perf work must not change it.
     report_fingerprint: String,
+    /// Sweep-throughput section: the fig-4-shaped batch through the
+    /// harness reuse machinery vs per-run rebuild.
+    sweep: SweepRecord,
+}
+
+#[derive(Serialize)]
+struct SweepRecord {
+    /// Runs in the batch (algorithms × fault cases).
+    runs: u32,
+    warmup_cycles: u64,
+    measure_cycles: u64,
+    repeats: u32,
+    /// Best-of-repeats wall-clock for the reused-simulator batch, seconds.
+    best_secs: f64,
+    /// Runs per wall-clock second on the reuse path (best of repeats).
+    runs_per_sec: f64,
+    /// Best-of-repeats wall-clock for the per-run-rebuild batch, seconds.
+    rebuild_secs: f64,
+    /// Runs per wall-clock second when every run rebuilds its context,
+    /// algorithm, and simulator from scratch (the pre-pool behavior).
+    rebuild_runs_per_sec: f64,
+    /// `runs_per_sec / rebuild_runs_per_sec`.
+    speedup: f64,
+    /// Heap allocations inside the timed reused passes, resets included
+    /// (must be zero).
+    reset_allocations: u64,
+    /// FNV-1a over the batch's concatenated serialized reports; the
+    /// rebuild path must reproduce it exactly.
+    sweep_fingerprint: String,
 }
 
 #[derive(Serialize)]
@@ -114,9 +157,174 @@ struct RoutingDecisionRecord {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench_engine [--out PATH] [--dump-report PATH] [--repeats N] [--check BASELINE]"
+        "usage: bench_engine [--out PATH] [--dump-report PATH] [--repeats N] [--check BASELINE] \
+         [--sweep-only]"
     );
     std::process::exit(2);
+}
+
+/// The fig-4-shaped batch: every roster algorithm × three fault cases
+/// (0 %, 5 %, 10 % faulty nodes) at 100 % load, one shared pattern per
+/// case, fixed derived seeds.
+fn sweep_specs() -> Vec<(AlgorithmKind, Arc<FaultPattern>, u64)> {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    let mesh = Mesh::square(MESH_SIZE);
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let mut patterns = vec![Arc::new(FaultPattern::fault_free(&mesh))];
+    for faults in [5usize, 10] {
+        patterns.push(Arc::new(
+            wormsim_fault::random_pattern(&mesh, faults, &mut rng).expect("sweep fault pattern"),
+        ));
+    }
+    let mut specs = Vec::new();
+    for (pi, pattern) in patterns.iter().enumerate() {
+        for (ki, &kind) in AlgorithmKind::ALL.iter().enumerate() {
+            let seed = SEED ^ ((pi as u64) << 32) ^ (ki as u64).wrapping_mul(0x9E37_79B9);
+            specs.push((kind, pattern.clone(), seed));
+        }
+    }
+    specs
+}
+
+/// One pass over the batch on the reuse path: contexts/algorithms from
+/// `cache`, one simulator rewound per run. Returns wall-clock seconds,
+/// heap allocations bracketing reset + stepping (report building is
+/// excluded — reports allocate by design), and, when requested, the
+/// batch fingerprint.
+fn sweep_pass_reused(
+    specs: &[(AlgorithmKind, Arc<FaultPattern>, u64)],
+    cache: &mut ContextCache,
+    sim: &mut Option<Simulator>,
+    fingerprint: bool,
+) -> (f64, u64, Option<String>) {
+    let wl = Workload::paper_uniform(RATE);
+    let mut hash_input = String::new();
+    let mut allocs = 0u64;
+    let start = Instant::now();
+    for &(kind, ref pattern, seed) in specs {
+        let ctx = cache.context(MESH_SIZE, pattern);
+        let algo = cache.algorithm(kind, &ctx, VcConfig::paper());
+        let cfg = SimConfig::quick().with_seed(seed);
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        match sim.as_mut() {
+            Some(s) => s.reset(algo, ctx, wl.clone(), cfg),
+            None => *sim = Some(Simulator::new(algo, ctx, wl.clone(), cfg)),
+        }
+        let s = sim.as_mut().expect("sweep simulator");
+        for _ in 0..cfg.total_cycles() {
+            s.step();
+        }
+        allocs += ALLOCATIONS.load(Ordering::Relaxed) - before;
+        let report = std::hint::black_box(s.report());
+        if fingerprint {
+            hash_input.push_str(&serde_json::to_string(&report).expect("report serializes"));
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let fp = fingerprint.then(|| format!("{:016x}", fnv1a(hash_input.as_bytes())));
+    (secs, allocs, fp)
+}
+
+/// One pass over the batch rebuilding everything per run — mesh, context
+/// (geometry table included), algorithm, simulator — i.e. the pre-pool
+/// harness behavior, as the A/B baseline.
+fn sweep_pass_rebuild(
+    specs: &[(AlgorithmKind, Arc<FaultPattern>, u64)],
+    fingerprint: bool,
+) -> (f64, Option<String>) {
+    let wl = Workload::paper_uniform(RATE);
+    let mut hash_input = String::new();
+    let start = Instant::now();
+    for &(kind, ref pattern, seed) in specs {
+        let mesh = Mesh::square(MESH_SIZE);
+        let ctx = Arc::new(RoutingContext::new(mesh, (**pattern).clone()));
+        let algo = build_algorithm(kind, ctx.clone(), VcConfig::paper());
+        let cfg = SimConfig::quick().with_seed(seed);
+        let mut s = Simulator::new(algo, ctx, wl.clone(), cfg);
+        for _ in 0..cfg.total_cycles() {
+            s.step();
+        }
+        let report = std::hint::black_box(s.report());
+        if fingerprint {
+            hash_input.push_str(&serde_json::to_string(&report).expect("report serializes"));
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let fp = fingerprint.then(|| format!("{:016x}", fnv1a(hash_input.as_bytes())));
+    (secs, fp)
+}
+
+/// Run the sweep-throughput benchmark: warm + fingerprint pass, then
+/// best-of-`repeats` timed passes on both paths. Asserts the reuse path
+/// allocates nothing (resets included) and that both paths produce
+/// byte-identical report batches.
+fn sweep_throughput(repeats: u32) -> SweepRecord {
+    let specs = sweep_specs();
+    let quick = SimConfig::quick();
+    let mut cache = ContextCache::default();
+    let mut sim: Option<Simulator> = None;
+
+    // Warm pass: builds the simulator, fills the cache, grows every
+    // buffer to its batch-wide high-water mark, and fingerprints the
+    // batch (already through the reset path for all runs but the first).
+    let (_, _, fp) = sweep_pass_reused(&specs, &mut cache, &mut sim, true);
+    let sweep_fingerprint = fp.expect("fingerprint pass");
+
+    let mut best_secs = f64::INFINITY;
+    let mut reset_allocations = 0u64;
+    for i in 0..repeats {
+        let (secs, allocs, _) = sweep_pass_reused(&specs, &mut cache, &mut sim, false);
+        eprintln!(
+            "sweep {}/{repeats}: {:.3}s ({:.1} runs/sec, {allocs} allocations across resets)",
+            i + 1,
+            secs,
+            specs.len() as f64 / secs
+        );
+        assert_eq!(
+            allocs, 0,
+            "sweep steady state regressed: {allocs} heap allocations across reset-reused runs"
+        );
+        best_secs = best_secs.min(secs);
+        reset_allocations = reset_allocations.max(allocs);
+    }
+
+    // A/B equivalence: the rebuild path must reproduce the batch exactly.
+    let (_, rebuild_fp) = sweep_pass_rebuild(&specs, true);
+    assert_eq!(
+        rebuild_fp.expect("rebuild fingerprint"),
+        sweep_fingerprint,
+        "reused-simulator sweep diverged from per-run rebuild"
+    );
+    let mut rebuild_secs = f64::INFINITY;
+    for i in 0..repeats {
+        let (secs, _) = sweep_pass_rebuild(&specs, false);
+        eprintln!(
+            "sweep rebuild {}/{repeats}: {:.3}s ({:.1} runs/sec)",
+            i + 1,
+            secs,
+            specs.len() as f64 / secs
+        );
+        rebuild_secs = rebuild_secs.min(secs);
+    }
+
+    let runs = specs.len() as u32;
+    let runs_per_sec = runs as f64 / best_secs;
+    let rebuild_runs_per_sec = runs as f64 / rebuild_secs;
+    SweepRecord {
+        runs,
+        warmup_cycles: quick.warmup_cycles,
+        measure_cycles: quick.measure_cycles,
+        repeats,
+        best_secs,
+        runs_per_sec,
+        rebuild_secs,
+        rebuild_runs_per_sec,
+        speedup: runs_per_sec / rebuild_runs_per_sec,
+        reset_allocations,
+        sweep_fingerprint,
+    }
 }
 
 /// One full paper-scale run, stepped in two phases so the allocation
@@ -210,14 +418,67 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+fn load_baseline(path: &str) -> serde_json::Value {
+    let raw = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("--check: cannot read {path}: {e}"));
+    serde_json::from_str(&raw).unwrap_or_else(|e| panic!("--check: {path} is not JSON: {e}"))
+}
+
+/// Gate the sweep section against the baseline's: exact fingerprint
+/// match, runs/sec at [`GATE_FLOOR`] of the baseline unless
+/// `WORMSIM_SKIP_PERF_GATE` is set. Baselines predating the sweep
+/// section pass with a notice (regenerate them to arm the gate).
+fn check_sweep_against_baseline(sweep: &SweepRecord, base: &serde_json::Value) {
+    let Some(base_sweep) = base.get("sweep") else {
+        eprintln!("perf gate: baseline has no sweep section; sweep checks skipped");
+        return;
+    };
+    let base_fp = base_sweep
+        .get("sweep_fingerprint")
+        .and_then(|v| v.as_str())
+        .expect("baseline sweep has sweep_fingerprint");
+    let base_rps = base_sweep
+        .get("runs_per_sec")
+        .and_then(|v| v.as_f64())
+        .expect("baseline sweep has runs_per_sec");
+    if sweep.sweep_fingerprint != base_fp {
+        eprintln!(
+            "PERF GATE FAILED: sweep fingerprint {} != baseline {base_fp} — \
+             the change altered sweep results, not just speed",
+            sweep.sweep_fingerprint
+        );
+        std::process::exit(1);
+    }
+    let floor = base_rps * GATE_FLOOR;
+    if std::env::var_os("WORMSIM_SKIP_PERF_GATE").is_some() {
+        eprintln!(
+            "perf gate: sweep fingerprint OK; throughput check skipped \
+             (WORMSIM_SKIP_PERF_GATE): {:.1} runs/sec vs baseline {base_rps:.1}",
+            sweep.runs_per_sec
+        );
+        return;
+    }
+    if sweep.runs_per_sec < floor {
+        eprintln!(
+            "PERF GATE FAILED: sweep {:.1} runs/sec < {floor:.1} \
+             ({:.0}% of baseline {base_rps:.1})",
+            sweep.runs_per_sec,
+            GATE_FLOOR * 100.0
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "perf gate: sweep OK — {:.1} runs/sec vs baseline {base_rps:.1} (floor {floor:.1}), \
+         fingerprint {}",
+        sweep.runs_per_sec, sweep.sweep_fingerprint
+    );
+}
+
 /// Gate the fresh record against a committed baseline. The fingerprint
 /// must match exactly; cycles/sec must reach [`GATE_FLOOR`] of the
 /// baseline unless `WORMSIM_SKIP_PERF_GATE` is set.
 fn check_against_baseline(record: &BenchRecord, path: &str) {
-    let raw = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("--check: cannot read {path}: {e}"));
-    let base: serde_json::Value =
-        serde_json::from_str(&raw).unwrap_or_else(|e| panic!("--check: {path} is not JSON: {e}"));
+    let base = load_baseline(path);
     let base_fp = base
         .get("report_fingerprint")
         .and_then(|v| v.as_str())
@@ -242,6 +503,7 @@ fn check_against_baseline(record: &BenchRecord, path: &str) {
              {:.0} cycles/sec vs baseline {base_cps:.0}",
             record.cycles_per_sec
         );
+        check_sweep_against_baseline(&record.sweep, &base);
         return;
     }
     if record.cycles_per_sec < floor {
@@ -258,6 +520,7 @@ fn check_against_baseline(record: &BenchRecord, path: &str) {
          fingerprint {}",
         record.cycles_per_sec, record.report_fingerprint
     );
+    check_sweep_against_baseline(&record.sweep, &base);
 }
 
 fn main() {
@@ -265,6 +528,7 @@ fn main() {
     let mut dump_report = None;
     let mut check = None;
     let mut repeats = 3u32;
+    let mut sweep_only = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -272,6 +536,7 @@ fn main() {
             "--out" => out = it.next().unwrap_or_else(|| usage()).clone(),
             "--dump-report" => dump_report = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "--check" => check = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--sweep-only" => sweep_only = true,
             "--repeats" => {
                 repeats = it
                     .next()
@@ -283,6 +548,18 @@ fn main() {
         }
     }
     let repeats = repeats.max(1);
+
+    let sweep = sweep_throughput(repeats);
+    if sweep_only {
+        if let Some(path) = &check {
+            check_sweep_against_baseline(&sweep, &load_baseline(path));
+        }
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&sweep).expect("sweep serializes")
+        );
+        return;
+    }
 
     let cfg = SimConfig::paper();
     let mut best_secs = f64::INFINITY;
@@ -331,6 +608,7 @@ fn main() {
         measure_allocations,
         routing_decision_ns: routing_decision_bench(),
         report_fingerprint: format!("{:016x}", fnv1a(report_json.as_bytes())),
+        sweep,
     };
     if let Some(path) = &check {
         check_against_baseline(&record, path);

@@ -93,11 +93,11 @@ fn main() {
 
     let mesh = Mesh::square(mesh_size);
     let mut rng = SmallRng::seed_from_u64(7);
-    let pattern = if faults == 0 {
+    let pattern = std::sync::Arc::new(if faults == 0 {
         FaultPattern::fault_free(&mesh)
     } else {
         random_pattern(&mesh, faults, &mut rng).expect("fault pattern")
-    };
+    });
     let progress = Progress::from_quiet_flag(quiet);
     progress.out(format_args!(
         "mesh {mesh_size}×{mesh_size}, {} faults ({} disabled, {} regions), {} VCs, {}-flit messages, {} cycles × {} seed(s), {:?} arbitration",

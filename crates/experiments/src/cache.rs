@@ -1,0 +1,143 @@
+//! Shared routing state across runs.
+//!
+//! A figure sweep runs the same `(mesh, fault pattern)` under many
+//! algorithms, rates, and seeds; rebuilding the [`RoutingContext`] (and
+//! its geometry table) plus the algorithm's routing tables for every run
+//! dominated setup cost. The cache here hands out one
+//! `Arc<RoutingContext>` per `(mesh size, pattern)` and one
+//! `Arc<dyn RoutingAlgorithm>` per `(context, kind, vc)`, so the worker
+//! pool's reused simulators only ever clone pointers between runs.
+//!
+//! Patterns are keyed by `Arc` identity, not by value: the harness builds
+//! each distinct pattern once (see `figures::fault_patterns`) and clones
+//! the `Arc` into every spec, so pointer identity is exactly pattern
+//! identity — and hashing a pointer is free, where hashing a pattern's
+//! fault list is not. The cache pins the pattern `Arc` alongside the
+//! context it produced, which keeps the pointer from being reused by a
+//! later allocation while the entry lives (no ABA).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use wormsim_fault::FaultPattern;
+use wormsim_routing::{build_algorithm, AlgorithmKind, RoutingAlgorithm, RoutingContext, VcConfig};
+use wormsim_topology::Mesh;
+
+/// Entries per map before the cache wipes itself. Sweeps use a few dozen
+/// patterns and a dozen algorithms; the bound only guards pathological
+/// callers (e.g. a long-lived process minting patterns in a loop).
+const CACHE_CAP: usize = 512;
+
+/// Memoizes routing contexts and algorithm instances. See the module docs
+/// for the keying scheme. Obtain the process-wide instance via
+/// [`shared_cache`].
+#[derive(Default)]
+pub struct ContextCache {
+    /// `(mesh size, pattern identity)` → the pattern (pinned) + context.
+    ctxs: HashMap<(u16, usize), (Arc<FaultPattern>, Arc<RoutingContext>)>,
+    /// `(context identity, kind, vc)` → the context (pinned) + algorithm.
+    #[allow(clippy::type_complexity)]
+    algos:
+        HashMap<(usize, AlgorithmKind, VcConfig), (Arc<RoutingContext>, Arc<dyn RoutingAlgorithm>)>,
+}
+
+impl ContextCache {
+    /// The routing context for a square mesh of `mesh_size` under
+    /// `pattern`, built on first use and shared thereafter.
+    pub fn context(&mut self, mesh_size: u16, pattern: &Arc<FaultPattern>) -> Arc<RoutingContext> {
+        let key = (mesh_size, Arc::as_ptr(pattern) as usize);
+        if let Some((_, ctx)) = self.ctxs.get(&key) {
+            return ctx.clone();
+        }
+        if self.ctxs.len() >= CACHE_CAP {
+            self.clear();
+        }
+        let mesh = Mesh::square(mesh_size);
+        let ctx = Arc::new(RoutingContext::new(mesh, (**pattern).clone()));
+        self.ctxs.insert(key, (pattern.clone(), ctx.clone()));
+        ctx
+    }
+
+    /// The algorithm instance of `kind` bound to `ctx` with `vc`, built on
+    /// first use and shared thereafter. Algorithms only read their context
+    /// after construction, so one instance serves any number of
+    /// (sequential or concurrent) runs.
+    pub fn algorithm(
+        &mut self,
+        kind: AlgorithmKind,
+        ctx: &Arc<RoutingContext>,
+        vc: VcConfig,
+    ) -> Arc<dyn RoutingAlgorithm> {
+        let key = (Arc::as_ptr(ctx) as usize, kind, vc);
+        if let Some((_, algo)) = self.algos.get(&key) {
+            return algo.clone();
+        }
+        if self.algos.len() >= CACHE_CAP {
+            self.algos.clear();
+        }
+        let algo: Arc<dyn RoutingAlgorithm> = build_algorithm(kind, ctx.clone(), vc).into();
+        self.algos.insert(key, (ctx.clone(), algo.clone()));
+        algo
+    }
+
+    /// Drop every cached entry (contexts and algorithms).
+    pub fn clear(&mut self) {
+        self.ctxs.clear();
+        self.algos.clear();
+    }
+
+    /// Number of cached contexts (test hook).
+    pub fn contexts_cached(&self) -> usize {
+        self.ctxs.len()
+    }
+
+    /// Number of cached algorithm instances (test hook).
+    pub fn algorithms_cached(&self) -> usize {
+        self.algos.len()
+    }
+}
+
+/// The process-wide cache used by `run_single` / `run_custom`.
+pub fn shared_cache() -> &'static Mutex<ContextCache> {
+    static CACHE: OnceLock<Mutex<ContextCache>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(ContextCache::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_is_shared_per_pattern_identity() {
+        let mesh = Mesh::square(6);
+        let pattern = Arc::new(FaultPattern::fault_free(&mesh));
+        let mut cache = ContextCache::default();
+        let a = cache.context(6, &pattern);
+        let b = cache.context(6, &pattern);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.contexts_cached(), 1);
+
+        // Same value, different Arc: a distinct pattern identity.
+        let other = Arc::new(FaultPattern::fault_free(&mesh));
+        let c = cache.context(6, &other);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.contexts_cached(), 2);
+
+        // Same pattern on a different mesh size is a distinct context.
+        let d = cache.context(8, &Arc::new(FaultPattern::fault_free(&Mesh::square(8))));
+        assert!(!Arc::ptr_eq(&a, &d));
+    }
+
+    #[test]
+    fn algorithm_is_shared_per_context_kind_vc() {
+        let mesh = Mesh::square(6);
+        let pattern = Arc::new(FaultPattern::fault_free(&mesh));
+        let mut cache = ContextCache::default();
+        let ctx = cache.context(6, &pattern);
+        let a = cache.algorithm(AlgorithmKind::Duato, &ctx, VcConfig::paper());
+        let b = cache.algorithm(AlgorithmKind::Duato, &ctx, VcConfig::paper());
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = cache.algorithm(AlgorithmKind::Xy, &ctx, VcConfig::paper());
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.algorithms_cached(), 2);
+    }
+}

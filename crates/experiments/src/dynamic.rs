@@ -118,8 +118,8 @@ pub fn dynamic_faults(cfg: &ExperimentConfig) -> FigureResult {
         "dynamic faults",
         |spec| {
             run_chaos(
-                Mesh::square(cfg.mesh_size),
-                FaultPattern::fault_free(&Mesh::square(cfg.mesh_size)),
+                mesh.clone(),
+                base.clone(),
                 &spec.schedule,
                 spec.kind,
                 cfg.vc,

@@ -6,6 +6,7 @@ use crate::table::Table;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use wormsim_fault::{FaultPattern, FaultPatternBuilder};
 use wormsim_metrics::SimReport;
 use wormsim_routing::AlgorithmKind;
@@ -46,18 +47,22 @@ fn algorithm_columns(kinds: &[AlgorithmKind]) -> Vec<String> {
 
 /// Random fault patterns shared by every algorithm in a fault case (the
 /// paper: "comparative performance across different fault cases is in
-/// accordance with the fault sets used").
-fn fault_patterns(cfg: &ExperimentConfig, faults: usize, salt: u64) -> Vec<FaultPattern> {
+/// accordance with the fault sets used"). `Arc`-wrapped so every spec
+/// shares one allocation per pattern and the context cache can key off
+/// pattern identity.
+fn fault_patterns(cfg: &ExperimentConfig, faults: usize, salt: u64) -> Vec<Arc<FaultPattern>> {
     let mesh = Mesh::square(cfg.mesh_size);
     if faults == 0 {
-        return vec![FaultPattern::fault_free(&mesh)];
+        return vec![Arc::new(FaultPattern::fault_free(&mesh))];
     }
     let mut rng = SmallRng::seed_from_u64(derive_seed(cfg.base_seed, salt, faults as u64, 0));
     (0..cfg.fault_patterns)
         .map(|_| {
-            FaultPatternBuilder::new(faults)
-                .generate(&mesh, &mut rng)
-                .expect("fault pattern generation failed")
+            Arc::new(
+                FaultPatternBuilder::new(faults)
+                    .generate(&mesh, &mut rng)
+                    .expect("fault pattern generation failed"),
+            )
         })
         .collect()
 }
@@ -68,7 +73,7 @@ fn fault_patterns(cfg: &ExperimentConfig, faults: usize, salt: u64) -> Vec<Fault
 pub fn fig1_saturation_throughput(cfg: &ExperimentConfig) -> FigureResult {
     let kinds = AlgorithmKind::FAULT_FREE_TEN;
     let mesh = Mesh::square(cfg.mesh_size);
-    let pattern = FaultPattern::fault_free(&mesh);
+    let pattern = Arc::new(FaultPattern::fault_free(&mesh));
     let specs: Vec<RunSpec> = RATE_SWEEP
         .iter()
         .flat_map(|&rate| {
@@ -111,7 +116,7 @@ pub fn fig1_saturation_throughput(cfg: &ExperimentConfig) -> FigureResult {
 pub fn fig2_latency_vs_rate(cfg: &ExperimentConfig) -> FigureResult {
     let kinds = AlgorithmKind::FAULT_FREE_TEN;
     let mesh = Mesh::square(cfg.mesh_size);
-    let pattern = FaultPattern::fault_free(&mesh);
+    let pattern = Arc::new(FaultPattern::fault_free(&mesh));
     let specs: Vec<RunSpec> = RATE_SWEEP
         .iter()
         .flat_map(|&rate| {
@@ -357,9 +362,9 @@ pub fn fig6_fring_traffic(cfg: &ExperimentConfig) -> FigureResult {
         .map(|n| ring_ctx.rings().on_any_ring(n))
         .collect();
 
-    let cases: Vec<(String, FaultPattern)> = vec![
-        ("0%".into(), FaultPattern::fault_free(&mesh)),
-        ("10%".into(), faulty_pattern.clone()),
+    let cases: Vec<(String, Arc<FaultPattern>)> = vec![
+        ("0%".into(), Arc::new(FaultPattern::fault_free(&mesh))),
+        ("10%".into(), Arc::new(faulty_pattern.clone())),
     ];
     let specs: Vec<(usize, RunSpec)> = kinds
         .iter()

@@ -18,9 +18,11 @@
 //! deterministic given [`ExperimentConfig::base_seed`].
 
 mod ablations;
+mod cache;
 mod config;
 mod dynamic;
 mod figures;
+mod pool;
 mod runner;
 mod table;
 
@@ -28,6 +30,7 @@ pub use ablations::{
     ablation_arbitration, ablation_buffer_depth, ablation_mesh_size, ablation_message_length,
     ablation_misroute_limit, ablation_traffic_patterns, ablation_turn_models, ablation_vc_budget,
 };
+pub use cache::{shared_cache, ContextCache};
 pub use config::{ExperimentConfig, Scale};
 pub use dynamic::{dynamic_faults, DYNAMIC_KINDS, DYNAMIC_RATE};
 pub use figures::{
@@ -35,6 +38,7 @@ pub use figures::{
     fig4_throughput_vs_faults, fig5_latency_vs_faults, fig6_fring_traffic, paper_52_layout,
     FigureResult, ANALYSIS_RATE, FULL_LOAD_RATE, RATE_SWEEP,
 };
+pub use pool::WorkerPool;
 pub use runner::{
     parallel_map, parallel_map_with_progress, run_custom, run_single, CustomSpec, RunSpec,
 };

@@ -1,14 +1,24 @@
 //! Single-simulation runner and the thread fan-out.
+//!
+//! Runs execute on the persistent [`WorkerPool`](crate::pool::WorkerPool):
+//! each pool thread parks one `Simulator` in a thread-local and rewinds it
+//! with [`Simulator::reset`] between runs, so a sweep of thousands of runs
+//! allocates simulator state once per thread. Routing contexts and
+//! algorithm instances are shared through the
+//! [`ContextCache`](crate::cache::ContextCache) — specs carry
+//! `Arc<FaultPattern>` so the cache can key them by identity.
 
+use crate::cache::shared_cache;
 use crate::config::ExperimentConfig;
+use crate::pool::{SyncPtr, WorkerPool};
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use wormsim_engine::Simulator;
+use wormsim_engine::{SimConfig, Simulator};
 use wormsim_fault::FaultPattern;
 use wormsim_metrics::SimReport;
 use wormsim_obs::Progress;
-use wormsim_routing::{build_algorithm, AlgorithmKind, RoutingContext};
-use wormsim_topology::Mesh;
+use wormsim_routing::{AlgorithmKind, RoutingAlgorithm, RoutingContext};
 use wormsim_traffic::Workload;
 
 /// One simulation work item.
@@ -16,8 +26,10 @@ use wormsim_traffic::Workload;
 pub struct RunSpec {
     /// Which algorithm to run.
     pub kind: AlgorithmKind,
-    /// The (static) fault pattern.
-    pub pattern: FaultPattern,
+    /// The (static) fault pattern. Shared: every spec built from the same
+    /// pattern clones one `Arc`, and the cache keys contexts off its
+    /// identity.
+    pub pattern: Arc<FaultPattern>,
     /// Message generation rate (messages/node/cycle).
     pub rate: f64,
     /// Per-run seed (derive it from the base seed + indices for
@@ -25,18 +37,51 @@ pub struct RunSpec {
     pub seed: u64,
 }
 
+thread_local! {
+    /// The calling thread's reusable simulator (pool workers and the
+    /// fan-out caller alike). Built on the first run, rewound with
+    /// `Simulator::reset` for every run after.
+    static WORKER_SIM: RefCell<Option<Simulator>> = const { RefCell::new(None) };
+}
+
+/// Run one simulation on this thread's reusable simulator.
+fn run_reusing_sim(
+    algo: Arc<dyn RoutingAlgorithm>,
+    ctx: Arc<RoutingContext>,
+    workload: Workload,
+    cfg: SimConfig,
+) -> SimReport {
+    WORKER_SIM.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        match slot.as_mut() {
+            Some(sim) => {
+                sim.reset(algo, ctx, workload, cfg);
+                sim.run()
+            }
+            None => {
+                let mut sim = Simulator::new(algo, ctx, workload, cfg);
+                let report = sim.run();
+                *slot = Some(sim);
+                report
+            }
+        }
+    })
+}
+
 /// Run one simulation to completion and return its report.
 pub fn run_single(cfg: &ExperimentConfig, spec: &RunSpec) -> SimReport {
-    let mesh = Mesh::square(cfg.mesh_size);
-    let ctx = Arc::new(RoutingContext::new(mesh, spec.pattern.clone()));
-    let algo = build_algorithm(spec.kind, ctx.clone(), cfg.vc);
-    let mut sim = Simulator::new(
+    let (ctx, algo) = {
+        let mut cache = shared_cache().lock().expect("context cache");
+        let ctx = cache.context(cfg.mesh_size, &spec.pattern);
+        let algo = cache.algorithm(spec.kind, &ctx, cfg.vc);
+        (ctx, algo)
+    };
+    run_reusing_sim(
         algo,
         ctx,
         Workload::paper_uniform(spec.rate),
         cfg.sim.with_seed(spec.seed),
-    );
-    sim.run()
+    )
 }
 
 /// A fully parameterized work item: everything the ablation studies vary.
@@ -50,23 +95,27 @@ pub struct CustomSpec {
     pub sim: wormsim_engine::SimConfig,
     /// Which algorithm.
     pub kind: AlgorithmKind,
-    /// Fault pattern (must match `mesh_size`).
-    pub pattern: FaultPattern,
-    /// Complete workload (pattern, rate, message length).
+    /// Fault pattern (must match `mesh_size`); shared like
+    /// [`RunSpec::pattern`].
+    pub pattern: Arc<FaultPattern>,
+    /// Complete workload (pattern, rate, message length). Held by value:
+    /// it is a few plain words, so cloning it per run is free.
     pub workload: Workload,
 }
 
 /// Run a fully parameterized simulation.
 pub fn run_custom(spec: &CustomSpec) -> SimReport {
-    let mesh = Mesh::square(spec.mesh_size);
-    let ctx = Arc::new(RoutingContext::new(mesh, spec.pattern.clone()));
-    let algo = build_algorithm(spec.kind, ctx.clone(), spec.vc);
-    let mut sim = Simulator::new(algo, ctx, spec.workload.clone(), spec.sim);
-    sim.run()
+    let (ctx, algo) = {
+        let mut cache = shared_cache().lock().expect("context cache");
+        let ctx = cache.context(spec.mesh_size, &spec.pattern);
+        let algo = cache.algorithm(spec.kind, &ctx, spec.vc);
+        (ctx, algo)
+    };
+    run_reusing_sim(algo, ctx, spec.workload.clone(), spec.sim)
 }
 
-/// Map `f` over `items` using `threads` scoped worker threads (dynamic
-/// work stealing over an atomic index). Result order matches input order.
+/// Map `f` over `items` on the persistent worker pool (dynamic chunked
+/// work stealing over a shared index). Result order matches input order.
 ///
 /// Shorthand for [`parallel_map_with_progress`] with a quiet reporter.
 pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
@@ -82,6 +131,11 @@ where
 /// reporter prints one completion tick per item (tagged with `label`), and
 /// worker-panic context goes through [`Progress::error`] so it survives a
 /// quiet reporter. Result order matches input order.
+///
+/// The calling thread participates as the first worker, and pool
+/// enrollment is clamped to the number of outstanding work chunks — a
+/// one-item batch runs inline on the caller, and no idle workers are woken
+/// just to join an exhausted queue.
 pub fn parallel_map_with_progress<T, R, F>(
     items: &[T],
     threads: usize,
@@ -95,48 +149,34 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let total = items.len();
-    let threads = threads.clamp(1, total.max(1));
-    let next = AtomicUsize::new(0);
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut out: Vec<Option<R>> = Vec::with_capacity(total);
+    out.resize_with(total, || None);
+    let slots = SyncPtr(out.as_mut_ptr());
     let done = AtomicUsize::new(0);
-    let mut collected: Vec<(usize, R)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= total {
-                            break;
-                        }
-                        out.push((i, f(&items[i])));
-                        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                        progress.note(format_args!("{label}: {finished}/{total} runs done"));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .enumerate()
-            .flat_map(|(worker, h)| match h.join() {
-                Ok(out) => out,
-                // Re-raise the worker's own panic payload (message and
-                // all) instead of masking it behind a generic join error,
-                // so a crashing run identifies its work item.
-                Err(payload) => {
-                    let claimed = next.load(Ordering::Relaxed).min(total);
-                    progress.error(format_args!(
-                        "{label}: worker {worker}/{threads} panicked \
-                         ({claimed}/{total} items claimed)"
-                    ));
-                    std::panic::resume_unwind(payload);
-                }
-            })
-            .collect()
-    });
-    collected.sort_by_key(|(i, _)| *i);
-    collected.into_iter().map(|(_, r)| r).collect()
+    let task = |i: usize| {
+        let r = f(&items[i]);
+        // SAFETY: the pool claims each index exactly once, so this slot
+        // has a unique writer, and its completion handshake orders every
+        // write before `run` returns and `out` is read.
+        unsafe { *slots.at(i) = Some(r) };
+        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+        progress.note(format_args!("{label}: {finished}/{total} runs done"));
+    };
+    if let Err((claimed, payload)) = WorkerPool::global().run(threads, total, &task) {
+        // Re-raise the worker's own panic payload (message and all)
+        // instead of masking it behind a generic join error, so a crashing
+        // run identifies its work item.
+        progress.error(format_args!(
+            "{label}: worker panicked ({claimed}/{total} items claimed)"
+        ));
+        std::panic::resume_unwind(payload);
+    }
+    out.into_iter()
+        .map(|r| r.expect("pool ran every item"))
+        .collect()
 }
 
 /// Derive a per-run seed from the experiment base seed and work indices
@@ -155,6 +195,7 @@ pub fn derive_seed(base: u64, a: u64, b: u64, c: u64) -> u64 {
 mod tests {
     use super::*;
     use crate::config::Scale;
+    use wormsim_topology::Mesh;
 
     #[test]
     fn parallel_map_preserves_order() {
@@ -173,6 +214,16 @@ mod tests {
     fn parallel_map_empty() {
         let out: Vec<i32> = parallel_map(&[] as &[i32], 4, |&x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_map_more_threads_than_items() {
+        // Regression: the old scoped fan-out spawned (and joined) idle
+        // threads whenever `threads > items`; the pool clamps enrollment
+        // to outstanding chunks, and results stay ordered.
+        let items: Vec<u64> = (0..3).collect();
+        let out = parallel_map(&items, 64, |&x| x + 10);
+        assert_eq!(out, vec![10, 11, 12]);
     }
 
     #[test]
@@ -198,12 +249,42 @@ mod tests {
         let mesh = Mesh::square(10);
         let spec = RunSpec {
             kind: AlgorithmKind::Duato,
-            pattern: FaultPattern::fault_free(&mesh),
+            pattern: Arc::new(FaultPattern::fault_free(&mesh)),
             rate: 0.002,
             seed: 1,
         };
         let report = run_single(&cfg, &spec);
         assert!(report.throughput.messages_delivered() > 0);
         assert_eq!(report.algorithm, "Duato's routing");
+    }
+
+    #[test]
+    fn run_single_reused_simulator_is_deterministic() {
+        // The same spec must produce byte-identical reports whether it
+        // lands on a fresh simulator or a reused (reset) one, and across
+        // cached-context hits.
+        let mut cfg = ExperimentConfig::new(Scale::Quick);
+        cfg.sim.warmup_cycles = 100;
+        cfg.sim.measure_cycles = 400;
+        let mesh = Mesh::square(10);
+        let pattern = Arc::new(FaultPattern::fault_free(&mesh));
+        let spec_a = RunSpec {
+            kind: AlgorithmKind::Nbc,
+            pattern: pattern.clone(),
+            rate: 0.003,
+            seed: 7,
+        };
+        let spec_b = RunSpec {
+            kind: AlgorithmKind::Xy,
+            pattern,
+            rate: 0.001,
+            seed: 9,
+        };
+        let first = serde_json::to_string(&run_single(&cfg, &spec_a)).unwrap();
+        // Interleave another spec so spec_a's second run goes through a
+        // reset from a different (kind, rate, seed) state.
+        let _ = run_single(&cfg, &spec_b);
+        let again = serde_json::to_string(&run_single(&cfg, &spec_a)).unwrap();
+        assert_eq!(first, again);
     }
 }

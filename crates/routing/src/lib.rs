@@ -171,7 +171,7 @@ impl core::fmt::Display for AlgorithmKind {
 }
 
 /// Virtual-channel budget configuration.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct VcConfig {
     /// Total VCs per physical channel (paper: 24).
     pub total: u8,

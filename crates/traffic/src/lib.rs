@@ -167,6 +167,31 @@ impl DestinationSampler {
         }
     }
 
+    /// Rebuild the sampler in place over a new healthy node set, reusing
+    /// the existing `healthy`/`usable` allocations (no allocations when the
+    /// mesh shape is unchanged — used by `Simulator::reset`).
+    pub fn reset(
+        &mut self,
+        pattern: TrafficPattern,
+        mesh: &Mesh,
+        healthy: impl IntoIterator<Item = NodeId>,
+    ) {
+        self.healthy.clear();
+        self.healthy.extend(healthy);
+        assert!(!self.healthy.is_empty());
+        self.usable.resize(mesh.num_nodes(), false);
+        self.usable.iter_mut().for_each(|u| *u = false);
+        for n in &self.healthy {
+            self.usable[n.index()] = true;
+        }
+        if let TrafficPattern::Hotspot { node, .. } = pattern {
+            assert!(self.usable[node.index()], "hotspot node must be healthy");
+        }
+        self.pattern = pattern;
+        self.width = mesh.width();
+        self.height = mesh.height();
+    }
+
     /// The healthy node list.
     pub fn healthy(&self) -> &[NodeId] {
         &self.healthy

@@ -21,11 +21,11 @@ fn main() {
     let cfg = ExperimentConfig::new(Scale::Paper);
     let mesh = Mesh::square(cfg.mesh_size);
     let mut rng = SmallRng::seed_from_u64(cfg.base_seed);
-    let pattern = if faults == 0 {
+    let pattern = std::sync::Arc::new(if faults == 0 {
         FaultPattern::fault_free(&mesh)
     } else {
         random_pattern(&mesh, faults, &mut rng).expect("pattern")
-    };
+    });
     println!(
         "== shootout: {} faults ({} disabled), rate {} msgs/node/cycle ==\n",
         faults,
