@@ -1,6 +1,41 @@
 //! Simulation configuration.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A configuration the engine cannot honor, reported instead of panicking
+/// so a single bad run spec no longer aborts a whole sweep mid-batch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The routing algorithm asks for more virtual channels than the
+    /// engine's 32-bit occupancy/waiter bitmasks can track.
+    TooManyVcs {
+        /// VCs the algorithm's [`VcConfig`](../wormsim_routing) demands.
+        requested: u8,
+        /// The bitmask ceiling (32).
+        limit: u8,
+    },
+    /// `SimConfig.shards` is zero; the engine needs at least one shard
+    /// (1 = the sequential path).
+    ZeroShards,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::TooManyVcs { requested, limit } => write!(
+                f,
+                "algorithm requests {requested} virtual channels but the engine's \
+                 occupancy bitmasks hold at most {limit}"
+            ),
+            ConfigError::ZeroShards => {
+                write!(f, "SimConfig.shards must be >= 1 (1 = sequential path)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// How per-cycle allocation conflicts are ordered.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -15,7 +50,7 @@ pub enum Arbitration {
 }
 
 /// Engine parameters. [`SimConfig::paper`] reproduces the paper's §5 setup.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Serialize)]
 pub struct SimConfig {
     /// Per-VC input buffer depth in flits.
     pub buffer_depth: u8,
@@ -48,6 +83,41 @@ pub struct SimConfig {
     /// disables telemetry entirely (the report's `telemetry` field stays
     /// `None` and off the wire, preserving report byte-identity).
     pub telemetry_window: u64,
+    /// Number of spatial shards the flit-movement phase is split across
+    /// (column bands of the mesh, stepped on the persistent worker pool
+    /// with a deterministic merge at each cycle boundary). `1` (the
+    /// default) is the sequential oracle path; any value produces
+    /// byte-identical reports. Only worth raising on large meshes — see
+    /// EXPERIMENTS.md "Sharded engine".
+    pub shards: u16,
+}
+
+// Manual impl rather than a derive so that configs serialized before the
+// `shards` knob existed keep deserializing (the field defaults to 1, the
+// sequential path).
+impl Deserialize for SimConfig {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let has_shards = matches!(v, serde::Value::Object(pairs)
+            if pairs.iter().any(|(k, _)| k == "shards"));
+        Ok(SimConfig {
+            buffer_depth: serde::__field(v, "buffer_depth")?,
+            warmup_cycles: serde::__field(v, "warmup_cycles")?,
+            measure_cycles: serde::__field(v, "measure_cycles")?,
+            deadlock_timeout: serde::__field(v, "deadlock_timeout")?,
+            seed: serde::__field(v, "seed")?,
+            arbitration: serde::__field(v, "arbitration")?,
+            debug_watchdog: serde::__field(v, "debug_watchdog")?,
+            recovery_backoff_base: serde::__field(v, "recovery_backoff_base")?,
+            recovery_backoff_cap: serde::__field(v, "recovery_backoff_cap")?,
+            settle_window: serde::__field(v, "settle_window")?,
+            telemetry_window: serde::__field(v, "telemetry_window")?,
+            shards: if has_shards {
+                serde::__field(v, "shards")?
+            } else {
+                1
+            },
+        })
+    }
 }
 
 impl SimConfig {
@@ -66,6 +136,7 @@ impl SimConfig {
             recovery_backoff_cap: 6,
             settle_window: 500,
             telemetry_window: 0,
+            shards: 1,
         }
     }
 
@@ -106,6 +177,12 @@ impl SimConfig {
         self.telemetry_window = window;
         self
     }
+
+    /// Builder-style shard-count override (`1` = sequential path).
+    pub fn with_shards(mut self, shards: u16) -> Self {
+        self.shards = shards;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +206,32 @@ mod tests {
     fn debug_watchdog_flag() {
         assert!(!SimConfig::paper().debug_watchdog);
         assert!(SimConfig::paper().with_debug_watchdog(true).debug_watchdog);
+    }
+
+    #[test]
+    fn shards_default_to_sequential_and_deserialize_when_absent() {
+        assert_eq!(SimConfig::paper().shards, 1);
+        assert_eq!(SimConfig::paper().with_shards(8).shards, 8);
+        // Configs serialized before the knob existed must keep loading.
+        let json = serde_json::to_string(&SimConfig::paper().with_shards(4)).unwrap();
+        assert!(json.contains("\"shards\":4"), "{json}");
+        let roundtrip: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(roundtrip.shards, 4);
+        let legacy = json.replace(",\"shards\":4", "");
+        assert!(!legacy.contains("shards"));
+        let back: SimConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.shards, 1);
+    }
+
+    #[test]
+    fn config_error_messages_name_the_limit() {
+        let e = ConfigError::TooManyVcs {
+            requested: 40,
+            limit: 32,
+        };
+        assert!(e.to_string().contains("40"));
+        assert!(e.to_string().contains("32"));
+        assert!(ConfigError::ZeroShards.to_string().contains("shards"));
     }
 
     #[test]

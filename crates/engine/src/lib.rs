@@ -44,11 +44,14 @@
 mod config;
 mod fault_hook;
 mod message;
+pub mod pool;
+mod shard;
 mod simulator;
 
-pub use config::{Arbitration, SimConfig};
+pub use config::{Arbitration, ConfigError, SimConfig};
 pub use fault_hook::{FaultActivation, FaultDriver};
 pub use message::MsgId;
+pub use pool::WorkerPool;
 pub use simulator::Simulator;
 // Observability layer, re-exported so engine users can attach sinks and
 // consume stall diagnoses without naming `wormsim-obs` themselves.

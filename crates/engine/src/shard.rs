@@ -1,0 +1,477 @@
+//! Intra-run sharding: the flit-movement phase split across workers.
+//!
+//! `SimConfig.shards > 1` partitions one cycle's movement pass over the
+//! persistent [`WorkerPool`](crate::pool::WorkerPool), with the
+//! single-threaded engine as the oracle: reports are byte-identical for
+//! every shard count.
+//!
+//! ## Why this is exact, not approximate
+//!
+//! The movement phase (`Simulator::move_flits`, phase 5 of `step`) is the
+//! only per-cycle work whose cost scales with the flit population, and it
+//! draws no randomness. Its writes fall into three classes:
+//!
+//! 1. **Message-local** — the message's own path entries, counters, and
+//!    flags. Trivially parallel.
+//! 2. **Footprint-local** — per-channel link budgets (`link_used`,
+//!    `occ_mask`, `slots`), per-node ejection budgets (`eject_used`) and
+//!    arrival counters. Two messages race on these only when their
+//!    *footprints* (held channels plus the downstream nodes of those
+//!    channels) intersect. The budgets are first-come-first-served in
+//!    service-rank order, so messages with intersecting footprints must
+//!    be processed sequentially, in rank order.
+//! 3. **Global accumulators** — latency/throughput records (f64 sums,
+//!    order-sensitive), the slab free list, recovery records, VC release
+//!    counts, and wake-ups of blocked headers. These are *deferred*: each
+//!    shard records them as `(service rank, payload)` and the caller
+//!    replays them in global rank order at the cycle boundary, exactly
+//!    the sequence the sequential loop would have produced. (Wake-ups
+//!    are additionally order-insensitive — movement never reads the
+//!    allocation phase they set, and setting `Contend` is idempotent —
+//!    but the rank-ordered replay makes that argument unnecessary.)
+//!
+//! So byte-identity reduces to one invariant: **messages whose footprints
+//! ever intersect are assigned to the same shard**. That is maintained
+//! with a union-find over channel and node keys:
+//!
+//! - When a header claims a VC (`try_allocate` success — the only place a
+//!   footprint grows), the new channel is unioned with its downstream
+//!   node and with the previous head channel. All keys of a message's
+//!   footprint therefore always share one union-find root, and two
+//!   messages sharing any channel or node share a root.
+//! - Releases never split clusters. Stale merges are *conservative*: an
+//!   over-coarse partition only reduces parallelism, never correctness.
+//!   To recover parallelism, the structure is rebuilt from the live
+//!   message paths every [`REBUILD_PERIOD`] cycles.
+//! - A cluster's shard is the column band ([`Mesh::column_band`]) of its
+//!   smallest member column — spatial locality keeps neighboring traffic
+//!   on one worker. When incremental unions merge two clusters between
+//!   rebuilds, the smaller-key root wins and the merged cluster inherits
+//!   its shard; *which* shard a cluster lands on affects only load
+//!   balance, never results, because different clusters have disjoint
+//!   write footprints by construction.
+//!
+//! The injection-port slot (`injecting[src]`) needs no clustering: during
+//! movement only the message holding the port writes it (engine invariant
+//! 4), and nothing reads it until the next cycle's promotion phase.
+
+use crate::message::{AllocPhase, Msg};
+use crate::pool::SyncPtr;
+use wormsim_topology::{ChannelId, Mesh, NodeId};
+
+/// Cycles between union-find rebuilds. Rebuilding costs one pass over all
+/// live path entries plus two over the key space; between rebuilds the
+/// partition only coarsens (conservatively), so the period trades rebuild
+/// overhead against parallelism lost to stale merges.
+pub(crate) const REBUILD_PERIOD: u64 = 32;
+
+/// Deferred global effects of one shard's movement pass, replayed by the
+/// caller at the cycle boundary. `rank` is the message's index in the
+/// cycle's service order — the k-way merge key that reconstructs the
+/// sequential processing sequence.
+#[derive(Default)]
+pub(crate) struct ShardScratch {
+    /// `(rank, slot key)` freed this cycle (tail drains and completions,
+    /// in sequential-equivalent order per message); their wake lists
+    /// drain in rank order at the merge.
+    pub freed: Vec<(u32, u32)>,
+    /// `(rank, msg id)` of messages fully delivered this cycle; their
+    /// stats bookkeeping (f64 latency records, free-list push, recovery
+    /// records) replays in rank order at the merge.
+    pub completions: Vec<(u32, u32)>,
+    /// VC slots released per VC index (order-insensitive counts).
+    pub vc_released: Vec<u64>,
+    /// Flits ejected at destinations by this shard.
+    pub delivered: u32,
+}
+
+impl ShardScratch {
+    fn reset(&mut self, num_vcs: u8) {
+        self.freed.clear();
+        self.completions.clear();
+        self.vc_released.resize(num_vcs as usize, 0);
+        self.vc_released.iter_mut().for_each(|v| *v = 0);
+        self.delivered = 0;
+    }
+}
+
+/// Raw views of the simulator state one cycle's parallel movement pass
+/// writes. All pointers are into `Simulator`-owned vectors; shards write
+/// provably disjoint index sets (see the module docs), and the pool's
+/// completion handshake orders every write before the caller's merge.
+pub(crate) struct MoveArena {
+    pub msgs: SyncPtr<Msg>,
+    pub slots: SyncPtr<Option<u32>>,
+    pub occ_mask: SyncPtr<u32>,
+    pub link_used: SyncPtr<u64>,
+    pub eject_used: SyncPtr<u64>,
+    pub arrivals: SyncPtr<u64>,
+    pub injecting: SyncPtr<Option<u32>>,
+    pub depth: u8,
+    pub stamp: u64,
+    pub cycle: u64,
+    pub measuring: bool,
+}
+
+/// The sharded engine's persistent state: the footprint union-find, the
+/// per-key shard assignment, and the per-shard work lists and scratches
+/// (all allocation-reusing across cycles and `reset`s).
+pub(crate) struct ShardRuntime {
+    mesh: Mesh,
+    shards: u16,
+    num_vcs: u8,
+    /// Channel keys are `0..num_channel_slots`, node keys follow.
+    num_channel_slots: usize,
+    /// Union-find parent per key.
+    parent: Vec<u32>,
+    /// Shard assignment per key, authoritative at the current root.
+    shard_of: Vec<u16>,
+    /// Mesh column per key (channel source column / node column).
+    col_of: Vec<u16>,
+    /// Rebuild scratch: minimum member column per root.
+    min_col: Vec<u16>,
+    /// Per-shard `(service rank, msg id)` movement lists for this cycle.
+    pub lists: Vec<Vec<(u32, u32)>>,
+    /// Per-shard deferred effects for this cycle.
+    pub scratch: Vec<ShardScratch>,
+    /// K-way merge cursors (reused across cycles).
+    cursors: Vec<usize>,
+}
+
+impl ShardRuntime {
+    pub fn new(mesh: &Mesh, shards: u16, num_vcs: u8) -> Box<ShardRuntime> {
+        let mut rt = Box::new(ShardRuntime {
+            mesh: mesh.clone(),
+            shards,
+            num_vcs,
+            num_channel_slots: 0,
+            parent: Vec::new(),
+            shard_of: Vec::new(),
+            col_of: Vec::new(),
+            min_col: Vec::new(),
+            lists: Vec::new(),
+            scratch: Vec::new(),
+            cursors: Vec::new(),
+        });
+        rt.reconfigure(mesh, shards, num_vcs);
+        rt
+    }
+
+    /// Re-shape for a (possibly different) mesh, shard count, and VC
+    /// count, reusing existing allocations — the sharded counterpart of
+    /// `Simulator::reset`.
+    pub fn reconfigure(&mut self, mesh: &Mesh, shards: u16, num_vcs: u8) {
+        debug_assert!(shards >= 1);
+        self.mesh = mesh.clone();
+        self.shards = shards;
+        self.num_vcs = num_vcs;
+        self.num_channel_slots = mesh.num_channel_slots();
+        let keys = self.num_channel_slots + mesh.num_nodes();
+        self.parent.resize(keys, 0);
+        self.shard_of.resize(keys, 0);
+        self.col_of.resize(keys, 0);
+        self.min_col.resize(keys, 0);
+        for c in 0..self.num_channel_slots {
+            self.col_of[c] = mesh.channel_column(ChannelId(c as u32));
+        }
+        for n in 0..mesh.num_nodes() {
+            self.col_of[self.num_channel_slots + n] = mesh.coord(NodeId(n as u16)).x;
+        }
+        self.lists.resize_with(shards as usize, Vec::new);
+        self.lists.truncate(shards as usize);
+        self.scratch
+            .resize_with(shards as usize, ShardScratch::default);
+        self.scratch.truncate(shards as usize);
+        // Identity partition: every key its own cluster, banded by its
+        // own column (a rebuild with no live messages).
+        self.rebuild(&[], &[]);
+    }
+
+    #[inline]
+    fn node_key(&self, node: usize) -> u32 {
+        (self.num_channel_slots + node) as u32
+    }
+
+    /// Union-find root with path halving.
+    fn find(&mut self, mut k: u32) -> u32 {
+        loop {
+            let p = self.parent[k as usize];
+            if p == k {
+                return k;
+            }
+            let gp = self.parent[p as usize];
+            self.parent[k as usize] = gp;
+            k = gp;
+        }
+    }
+
+    /// Merge two clusters; the smaller-key root wins, so the merged
+    /// cluster deterministically inherits the winner's shard assignment.
+    fn union(&mut self, a: u32, b: u32) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        let (winner, loser) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent[loser as usize] = winner;
+    }
+
+    /// Footprint growth hook, called from `try_allocate` on every
+    /// successful VC claim: the new channel joins the claiming message's
+    /// cluster (via the previous head channel) and pulls in its
+    /// downstream node (ejection budget + arrival counter).
+    #[inline]
+    pub fn note_allocation(&mut self, ch: u32, dest_node: usize, prev_ch: Option<u32>) {
+        let nk = self.node_key(dest_node);
+        self.union(ch, nk);
+        if let Some(p) = prev_ch {
+            self.union(ch, p);
+        }
+    }
+
+    /// Recompute the union-find from the live message paths, then assign
+    /// every key's cluster to the column band of its smallest member
+    /// column. Runs every [`REBUILD_PERIOD`] cycles to shed stale merges.
+    pub fn rebuild(&mut self, active: &[u32], msgs: &[Msg]) {
+        for (k, p) in self.parent.iter_mut().enumerate() {
+            *p = k as u32;
+        }
+        for &id in active {
+            let m = &msgs[id as usize];
+            if !m.alive || m.path.is_empty() {
+                continue;
+            }
+            let mut prev: Option<u32> = None;
+            for e in m.path.iter() {
+                let nk = self.node_key(e.dest.index());
+                self.union(e.ch, nk);
+                if let Some(p) = prev {
+                    self.union(e.ch, p);
+                }
+                prev = Some(e.ch);
+            }
+        }
+        self.min_col.iter_mut().for_each(|c| *c = u16::MAX);
+        for k in 0..self.parent.len() as u32 {
+            let r = self.find(k) as usize;
+            let c = self.col_of[k as usize];
+            if c < self.min_col[r] {
+                self.min_col[r] = c;
+            }
+        }
+        for k in 0..self.parent.len() as u32 {
+            let r = self.find(k) as usize;
+            let col = self.min_col[r];
+            self.shard_of[k as usize] = self.mesh.column_band(col, self.shards);
+        }
+    }
+
+    /// Split the cycle's service order into per-shard `(rank, id)` lists
+    /// and reset the per-shard scratches. A message's shard is its
+    /// cluster's (any footprint key's root — they all agree).
+    pub fn partition(&mut self, order: &[u32], msgs: &[Msg]) {
+        for l in &mut self.lists {
+            l.clear();
+        }
+        let num_vcs = self.num_vcs;
+        for s in &mut self.scratch {
+            s.reset(num_vcs);
+        }
+        for (i, &id) in order.iter().enumerate() {
+            let m = &msgs[id as usize];
+            if !m.alive || m.path.is_empty() {
+                continue;
+            }
+            let ch = m.path[0].ch;
+            let root = self.find(ch) as usize;
+            let shard = self.shard_of[root];
+            self.lists[shard as usize].push((i as u32, id));
+        }
+    }
+
+    /// Visit this cycle's deferred items of one kind in global rank order
+    /// (k-way merge over the per-shard rank-sorted lists), feeding each
+    /// payload to `apply`.
+    pub fn drain_ranked(
+        &mut self,
+        pick: impl Fn(&ShardScratch) -> &[(u32, u32)],
+        mut apply: impl FnMut(u32),
+    ) {
+        self.cursors.clear();
+        self.cursors.resize(self.scratch.len(), 0);
+        loop {
+            let mut best: Option<(u32, usize)> = None;
+            for (si, s) in self.scratch.iter().enumerate() {
+                if let Some(&(rank, _)) = pick(s).get(self.cursors[si]) {
+                    if best.is_none_or(|(br, _)| rank < br) {
+                        best = Some((rank, si));
+                    }
+                }
+            }
+            let Some((_, si)) = best else { break };
+            let (_, payload) = pick(&self.scratch[si])[self.cursors[si]];
+            self.cursors[si] += 1;
+            apply(payload);
+        }
+    }
+}
+
+/// One message's movement pass — the sharded mirror of
+/// `Simulator::move_flits`, kept line-for-line parallel with it (the
+/// shard-equivalence test matrix pins them together). Differences: writes
+/// go through the arena's raw views, and the global accumulators of the
+/// sequential version (`delivered_this_cycle`, `vc_usage`, wake-ups,
+/// completion stats) are deferred into `scratch` instead.
+///
+/// # Safety
+///
+/// Caller must guarantee that (a) `arena`'s pointers are live and sized
+/// for every index this message's footprint can touch, and (b) no other
+/// thread concurrently touches this message or any channel/node in its
+/// footprint — the union-find partition establishes exactly this.
+pub(crate) unsafe fn move_one(arena: &MoveArena, rank: u32, id: u32, scratch: &mut ShardScratch) {
+    let m = &mut *arena.msgs.at(id as usize);
+    if !m.alive || m.path.is_empty() {
+        return;
+    }
+    if m.stalled {
+        return;
+    }
+    let depth = arena.depth;
+    let stamp = arena.stamp;
+    let mut progressed = false;
+    let path = m.path.as_mut_slice();
+
+    // Ejection at the destination (head entry only).
+    let head_idx = path.len() - 1;
+    let head_entry = path[head_idx];
+    let head_node = head_entry.dest;
+    if head_node == m.dest && head_entry.occ > 0 {
+        let eject = &mut *arena.eject_used.at(head_node.index());
+        if *eject != stamp {
+            *eject = stamp;
+            path[head_idx].occ -= 1;
+            m.delivered += 1;
+            scratch.delivered += 1;
+            progressed = true;
+        }
+    }
+
+    // Pipeline shifts, head side first; the head stage is peeled off for
+    // the header-arrival phase flip, the interior loop is branchless.
+    if head_idx >= 1 {
+        let cur = path[head_idx];
+        let lu = &mut *arena.link_used.at(cur.ch as usize);
+        if path[head_idx - 1].occ > 0 && cur.occ < depth && cur.entered < m.length && *lu != stamp {
+            *lu = stamp;
+            path[head_idx - 1].occ -= 1;
+            path[head_idx].occ += 1;
+            path[head_idx].entered += 1;
+            progressed = true;
+            if path[head_idx].entered == 1 {
+                m.alloc = if cur.dest == m.dest {
+                    AllocPhase::Moving
+                } else {
+                    AllocPhase::Contend
+                };
+            }
+            if arena.measuring {
+                *arena.arrivals.at(cur.dest.index()) += 1;
+            }
+        }
+    }
+    let nl_mask = arena.measuring as u64;
+    for j in (1..head_idx).rev() {
+        let cur = path[j];
+        let prev_occ = path[j - 1].occ;
+        let lu = &mut *arena.link_used.at(cur.ch as usize);
+        let can = (prev_occ > 0) & (cur.occ < depth) & (cur.entered < m.length) & (*lu != stamp);
+        let d = can as u8;
+        *lu = if can { stamp } else { *lu };
+        path[j - 1].occ = prev_occ - d;
+        path[j].occ = cur.occ + d;
+        path[j].entered = cur.entered + d as u32;
+        progressed |= can;
+        *arena.arrivals.at(cur.dest.index()) += d as u64 & nl_mask;
+    }
+
+    // Source injection into the first held VC.
+    if m.at_source > 0 {
+        let first = path[0];
+        let lu = &mut *arena.link_used.at(first.ch as usize);
+        if first.occ < depth && first.entered < m.length && *lu != stamp {
+            *lu = stamp;
+            path[0].occ += 1;
+            path[0].entered += 1;
+            m.at_source -= 1;
+            progressed = true;
+            if path.len() == 1 && path[0].entered == 1 {
+                m.alloc = if first.dest == m.dest {
+                    AllocPhase::Moving
+                } else {
+                    AllocPhase::Contend
+                };
+            }
+            if m.first_injected.is_none() {
+                m.first_injected = Some(arena.cycle);
+            }
+            if arena.measuring {
+                *arena.arrivals.at(first.dest.index()) += 1;
+            }
+            if m.at_source == 0 {
+                // The tail left the source: free the injection port.
+                // Unique writer — only the port holder reaches here.
+                *arena.injecting.at(m.src.index()) = None;
+            }
+        }
+    }
+
+    if progressed {
+        m.last_progress = arena.cycle;
+    } else {
+        // Stall detection, identical to the sequential path: the movement
+        // predicates read only this message's own state, so a fully
+        // immobile message stays immobile until its own state changes.
+        let head = path[head_idx];
+        let mut movable = head.dest == m.dest && head.occ > 0;
+        movable = movable || (m.at_source > 0 && path[0].occ < depth && path[0].entered < m.length);
+        if !movable {
+            for j in 1..path.len() {
+                if path[j - 1].occ > 0 && path[j].occ < depth && path[j].entered < m.length {
+                    movable = true;
+                    break;
+                }
+            }
+        }
+        m.stalled = !movable;
+    }
+
+    // Release drained tail VCs.
+    while m.path.len() > 1 {
+        let front = m.path[0];
+        if front.entered == m.length && front.occ == 0 {
+            *arena.slots.at(front.key as usize) = None;
+            *arena.occ_mask.at(front.ch as usize) &= !(1 << front.vc);
+            scratch.vc_released[front.vc as usize] += 1;
+            scratch.freed.push((rank, front.key));
+            m.path.pop_front();
+        } else {
+            break;
+        }
+    }
+
+    // Completion: release everything here (footprint-local), defer the
+    // stats/free-list bookkeeping to the caller's rank-ordered merge.
+    if m.is_complete() {
+        for e in &m.path {
+            *arena.slots.at(e.key as usize) = None;
+            *arena.occ_mask.at(e.ch as usize) &= !(1 << e.vc);
+            scratch.vc_released[e.vc as usize] += 1;
+            scratch.freed.push((rank, e.key));
+        }
+        m.path.clear();
+        m.alive = false;
+        scratch.completions.push((rank, id));
+    }
+}

@@ -1,9 +1,11 @@
 //! The cycle loop: injection, routing/VC allocation, flit movement,
 //! watchdog, statistics.
 
-use crate::config::SimConfig;
+use crate::config::{ConfigError, SimConfig};
 use crate::fault_hook::{FaultActivation, FaultDriver};
 use crate::message::{AllocPhase, Msg, MsgId, PathEntry};
+use crate::pool::{SyncPtr, WorkerPool};
+use crate::shard::{move_one, MoveArena, ShardRuntime, REBUILD_PERIOD};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -136,6 +138,11 @@ pub struct Simulator<S: Sink = NullSink> {
     blocked_this_cycle: u64,
     /// Messages fully delivered this cycle.
     completed_this_cycle: u64,
+    /// Sharded-movement state (footprint union-find, per-shard work lists
+    /// and deferred-effect scratches); `Some` iff `cfg.shards > 1`. `None`
+    /// keeps the sequential phase-5 loop — and its zero-allocation steady
+    /// state — exactly as before.
+    shard_rt: Option<Box<ShardRuntime>>,
 }
 
 impl Simulator {
@@ -150,6 +157,17 @@ impl Simulator {
     ) -> Self {
         Simulator::with_sink(algo, ctx, workload, cfg, NullSink)
     }
+
+    /// Like [`Simulator::new`], but reports an unhonorable configuration
+    /// as a [`ConfigError`] instead of panicking.
+    pub fn try_new(
+        algo: impl Into<Arc<dyn RoutingAlgorithm>>,
+        ctx: Arc<RoutingContext>,
+        workload: Workload,
+        cfg: SimConfig,
+    ) -> Result<Self, ConfigError> {
+        Simulator::try_with_sink(algo, ctx, workload, cfg, NullSink)
+    }
 }
 
 impl<S: Sink> Simulator<S> {
@@ -163,11 +181,33 @@ impl<S: Sink> Simulator<S> {
         cfg: SimConfig,
         sink: S,
     ) -> Self {
+        Simulator::try_with_sink(algo, ctx, workload, cfg, sink)
+            .unwrap_or_else(|e| panic!("invalid simulator configuration: {e}"))
+    }
+
+    /// Like [`Simulator::with_sink`], but reports an unhonorable
+    /// configuration (too many VCs for the occupancy bitmasks, a zero
+    /// shard count) as a [`ConfigError`] instead of panicking.
+    pub fn try_with_sink(
+        algo: impl Into<Arc<dyn RoutingAlgorithm>>,
+        ctx: Arc<RoutingContext>,
+        workload: Workload,
+        cfg: SimConfig,
+        sink: S,
+    ) -> Result<Self, ConfigError> {
         let algo = algo.into();
         let mesh = ctx.mesh();
         let num_nodes = mesh.num_nodes();
         let num_vcs = algo.num_vcs();
-        assert!(num_vcs as usize <= 32, "occupancy bitmasks hold 32 VCs");
+        if num_vcs as usize > 32 {
+            return Err(ConfigError::TooManyVcs {
+                requested: num_vcs,
+                limit: 32,
+            });
+        }
+        if cfg.shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
         let pattern = ctx.pattern();
         let healthy: Vec<NodeId> = pattern.healthy_nodes(mesh).collect();
         let num_healthy = healthy.len();
@@ -185,7 +225,8 @@ impl<S: Sink> Simulator<S> {
         let channels = mesh.channels().count();
         let recheck_wait = algo.recheck_wait();
         let num_slots = mesh.num_channel_slots() * num_vcs as usize;
-        Simulator {
+        let shard_rt = (cfg.shards > 1).then(|| ShardRuntime::new(mesh, cfg.shards, num_vcs));
+        Ok(Simulator {
             algo,
             workload,
             num_vcs,
@@ -236,9 +277,10 @@ impl<S: Sink> Simulator<S> {
             injected_this_cycle: 0,
             blocked_this_cycle: 0,
             completed_this_cycle: 0,
+            shard_rt,
             cfg,
             ctx,
-        }
+        })
     }
 
     /// Rewind this simulator for a fresh run with a (possibly different)
@@ -262,9 +304,31 @@ impl<S: Sink> Simulator<S> {
         workload: Workload,
         cfg: SimConfig,
     ) {
+        self.try_reset(algo, ctx, workload, cfg)
+            .unwrap_or_else(|e| panic!("invalid simulator configuration: {e}"))
+    }
+
+    /// Like [`Simulator::reset`], but reports an unhonorable configuration
+    /// as a [`ConfigError`] instead of panicking. On `Err` the simulator
+    /// is untouched and still usable with its previous configuration.
+    pub fn try_reset(
+        &mut self,
+        algo: impl Into<Arc<dyn RoutingAlgorithm>>,
+        ctx: Arc<RoutingContext>,
+        workload: Workload,
+        cfg: SimConfig,
+    ) -> Result<(), ConfigError> {
         let algo = algo.into();
         let num_vcs = algo.num_vcs();
-        assert!(num_vcs as usize <= 32, "occupancy bitmasks hold 32 VCs");
+        if num_vcs as usize > 32 {
+            return Err(ConfigError::TooManyVcs {
+                requested: num_vcs,
+                limit: 32,
+            });
+        }
+        if cfg.shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
         self.algo = algo;
         self.ctx = ctx;
         self.workload = workload;
@@ -353,6 +417,15 @@ impl<S: Sink> Simulator<S> {
         self.injected_this_cycle = 0;
         self.blocked_this_cycle = 0;
         self.completed_this_cycle = 0;
+        if self.cfg.shards > 1 {
+            match self.shard_rt.as_deref_mut() {
+                Some(rt) => rt.reconfigure(&mesh, self.cfg.shards, num_vcs),
+                None => self.shard_rt = Some(ShardRuntime::new(&mesh, self.cfg.shards, num_vcs)),
+            }
+        } else {
+            self.shard_rt = None;
+        }
+        Ok(())
     }
 
     /// The attached trace sink.
@@ -857,8 +930,18 @@ impl<S: Sink> Simulator<S> {
         // 5. Flit movement (ejection, pipeline shifts, source injection).
         // `link_used`/`eject_used` need no clearing: they are epoch-stamped
         // with `cycle + 1`, so last cycle's marks simply stop matching.
-        for &id in &order {
-            self.move_flits(id, measuring);
+        // With `cfg.shards > 1` the pass is partitioned into
+        // footprint-disjoint shards on the worker pool with a deterministic
+        // rank-ordered merge — byte-identical to the sequential loop (see
+        // `crate::shard`). Traced runs stay sequential: sinks observe the
+        // exact interleaving, and `Sink::ENABLED` is a compile-time
+        // constant, so the untraced instantiation carries no branch here.
+        if self.shard_rt.is_some() && !S::ENABLED {
+            self.move_flits_sharded(&order, measuring);
+        } else {
+            for &id in &order {
+                self.move_flits(id, measuring);
+            }
         }
         self.order = order;
 
@@ -1120,6 +1203,12 @@ impl<S: Sink> Simulator<S> {
                     .on(ch.0, vc),
             );
         }
+        if let Some(rt) = self.shard_rt.as_deref_mut() {
+            // Footprint growth: fold the new channel, its downstream node,
+            // and the previous head channel into one movement cluster.
+            let prev_ch = self.msgs[id as usize].path.back().map(|e| e.ch);
+            rt.note_allocation(ch.0, next.index(), prev_ch);
+        }
         let m = &mut self.msgs[id as usize];
         m.state = state;
         m.alloc = AllocPhase::Moving;
@@ -1362,34 +1451,120 @@ impl<S: Sink> Simulator<S> {
             }
             m.path.clear();
             m.alive = false;
-            self.completed_this_cycle += 1;
             if S::ENABLED {
                 self.sink
                     .record(TraceEvent::new(self.cycle, EventKind::Deliver, id).at(m.dest.0));
             }
-            self.total_misroutes += m.state.misroutes as u64;
-            if let Some((ev, aborted_at)) = m.abort_tag.take() {
-                if let Some(rec) = self.recovery.as_mut() {
-                    rec.record_recovered(ev as usize, self.cycle + 1 - aborted_at);
-                }
-            }
-            let latency = self.cycle + 1 - m.created;
-            let network_latency = self.cycle + 1
-                - m.first_injected
-                    .expect("a completed message must have injected flits");
-            let length = m.length;
-            self.free_list.push(id);
-            if measuring {
-                self.throughput.record_delivery(length);
-                self.latency.record(latency);
-                self.network_latency.record(network_latency);
-            }
+            self.finish_completion(id, measuring);
         }
 
         for &key in &freed {
             self.wake_waiters(key);
         }
         self.freed_scratch = freed;
+    }
+
+    /// The statistics/bookkeeping tail of a message completion, shared by
+    /// the sequential movement pass and the sharded merge (which replays
+    /// completions in service-rank order, reproducing the sequential
+    /// sequence of these calls exactly — the latency records are
+    /// order-sensitive f64 sums, and the free-list push order decides
+    /// future message-id assignment).
+    fn finish_completion(&mut self, id: u32, measuring: bool) {
+        let m = &mut self.msgs[id as usize];
+        let misroutes = m.state.misroutes as u64;
+        let abort = m.abort_tag.take();
+        let latency = self.cycle + 1 - m.created;
+        let network_latency = self.cycle + 1
+            - m.first_injected
+                .expect("a completed message must have injected flits");
+        let length = m.length;
+        self.completed_this_cycle += 1;
+        self.total_misroutes += misroutes;
+        if let Some((ev, aborted_at)) = abort {
+            if let Some(rec) = self.recovery.as_mut() {
+                rec.record_recovered(ev as usize, self.cycle + 1 - aborted_at);
+            }
+        }
+        self.free_list.push(id);
+        if measuring {
+            self.throughput.record_delivery(length);
+            self.latency.record(latency);
+            self.network_latency.record(network_latency);
+        }
+    }
+
+    /// Phase 5 on the worker pool: partition the service order into
+    /// footprint-disjoint shards (movement clusters banded by mesh
+    /// column), move each shard's messages in rank order concurrently,
+    /// then replay the deferred global effects in rank order. Produces
+    /// byte-identical state to the sequential loop — see `crate::shard`
+    /// for the full argument.
+    fn move_flits_sharded(&mut self, order: &[u32], measuring: bool) {
+        let mut rt = self
+            .shard_rt
+            .take()
+            .expect("sharded movement requires a shard runtime");
+        if self.cycle.is_multiple_of(REBUILD_PERIOD) {
+            // Shed stale cluster merges (releases never split clusters
+            // incrementally); pure performance state, never observable.
+            rt.rebuild(&self.active, &self.msgs);
+        }
+        rt.partition(order, &self.msgs);
+        if rt.lists.iter().any(|l| !l.is_empty()) {
+            let shards = rt.lists.len();
+            let arena = MoveArena {
+                msgs: SyncPtr(self.msgs.as_mut_ptr()),
+                slots: SyncPtr(self.slots.as_mut_ptr()),
+                occ_mask: SyncPtr(self.occ_mask.as_mut_ptr()),
+                link_used: SyncPtr(self.link_used.as_mut_ptr()),
+                eject_used: SyncPtr(self.eject_used.as_mut_ptr()),
+                arrivals: SyncPtr(self.node_load.arrivals_mut().as_mut_ptr()),
+                injecting: SyncPtr(self.injecting.as_mut_ptr()),
+                depth: self.cfg.buffer_depth,
+                stamp: self.cycle + 1,
+                cycle: self.cycle,
+                measuring,
+            };
+            let lists = &rt.lists;
+            let scratch = SyncPtr(rt.scratch.as_mut_ptr());
+            let task = move |i: usize| {
+                // Worker `i` owns shard `i`'s scratch and every channel,
+                // node, and message reachable from shard `i`'s footprints —
+                // disjoint across workers by the union-find partition.
+                let scratch = unsafe { &mut *scratch.at(i) };
+                for &(rank, id) in &lists[i] {
+                    unsafe { move_one(&arena, rank, id, scratch) };
+                }
+            };
+            if let Err((_, payload)) = WorkerPool::global().run(shards, shards, &task) {
+                // Surface worker panics exactly like the sequential loop
+                // would (the pool has already drained and unenrolled).
+                std::panic::resume_unwind(payload);
+            }
+            self.apply_shard_effects(&mut rt, measuring);
+        }
+        self.shard_rt = Some(rt);
+    }
+
+    /// Replay one sharded cycle's deferred global effects in the exact
+    /// order the sequential loop would have produced them.
+    fn apply_shard_effects(&mut self, rt: &mut ShardRuntime, measuring: bool) {
+        let mut delivered = 0u32;
+        for s in &rt.scratch {
+            delivered += s.delivered;
+            for (vc, &n) in s.vc_released.iter().enumerate() {
+                if n > 0 {
+                    self.vc_usage.release_n(vc as u8, n);
+                }
+            }
+        }
+        self.delivered_this_cycle += delivered;
+        rt.drain_ranked(
+            |s| &s.completions,
+            |id| self.finish_completion(id, measuring),
+        );
+        rt.drain_ranked(|s| &s.freed, |key| self.wake_waiters(key));
     }
 
     /// Drain every activation the installed fault driver has due.

@@ -1,0 +1,187 @@
+//! Sharded-engine equivalence: for every algorithm, fault pattern,
+//! arbitration policy, and shard count, a sharded run's report is
+//! byte-identical to the sequential (shards = 1) oracle.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use wormsim_engine::{Arbitration, ConfigError, SimConfig, Simulator};
+use wormsim_fault::FaultPattern;
+use wormsim_routing::{build_algorithm, AlgorithmKind, RoutingContext, VcConfig};
+use wormsim_topology::Mesh;
+use wormsim_traffic::Workload;
+
+fn algorithms() -> [AlgorithmKind; 6] {
+    [
+        AlgorithmKind::PHop,
+        AlgorithmKind::Nbc,
+        AlgorithmKind::Duato,
+        AlgorithmKind::FullyAdaptive,
+        AlgorithmKind::BouraFaultTolerant,
+        AlgorithmKind::Xy,
+    ]
+}
+
+fn report_json(kind: AlgorithmKind, ctx: &Arc<RoutingContext>, cfg: SimConfig) -> String {
+    let algo = build_algorithm(kind, ctx.clone(), VcConfig::paper());
+    let mut wl = Workload::paper_uniform(0.01);
+    wl.message_length = 20;
+    let mut sim = Simulator::new(algo, ctx.clone(), wl, cfg);
+    let report = sim.run();
+    sim.check_invariants();
+    serde_json::to_string(&report).unwrap()
+}
+
+/// The full combination matrix the issue pins: every algorithm × fault
+/// pattern × arbitration, sharded vs sequential.
+#[test]
+fn sharded_reports_match_sequential_across_the_matrix() {
+    let mesh = Mesh::square(10);
+    let mut rng = SmallRng::seed_from_u64(0xF00D);
+    let patterns = [
+        FaultPattern::fault_free(&mesh),
+        wormsim_fault::random_pattern(&mesh, 3, &mut rng).expect("3-fault pattern"),
+    ];
+    for pattern in patterns {
+        let ctx = Arc::new(RoutingContext::new(mesh.clone(), pattern));
+        for kind in algorithms() {
+            for arb in [Arbitration::Random, Arbitration::OldestFirst] {
+                let cfg = SimConfig {
+                    warmup_cycles: 100,
+                    measure_cycles: 400,
+                    arbitration: arb,
+                    ..SimConfig::paper()
+                };
+                let sequential = report_json(kind, &ctx, cfg);
+                let sharded = report_json(kind, &ctx, cfg.with_shards(4));
+                assert_eq!(sequential, sharded, "{kind:?}/{arb:?} diverged at shards=4");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn shard_count_never_changes_the_report(
+        seed in any::<u64>(),
+        algo_idx in 0usize..6,
+        faults in 0usize..=6,
+        rate_millis in 1u32..=8,
+        oldest_first in any::<bool>(),
+        shards in prop::sample::select(vec![2u16, 4, 8]),
+    ) {
+        let mesh = Mesh::square(10);
+        let pattern = if faults == 0 {
+            FaultPattern::fault_free(&mesh)
+        } else {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            match wormsim_fault::random_pattern(&mesh, faults, &mut rng) {
+                Ok(p) => p,
+                Err(_) => return Ok(()),
+            }
+        };
+        let ctx = Arc::new(RoutingContext::new(mesh, pattern));
+        let cfg = SimConfig {
+            warmup_cycles: 100,
+            measure_cycles: 300,
+            seed,
+            arbitration: if oldest_first {
+                Arbitration::OldestFirst
+            } else {
+                Arbitration::Random
+            },
+            ..SimConfig::paper()
+        };
+        let kind = algorithms()[algo_idx];
+        let wl = Workload::paper_uniform(rate_millis as f64 / 1000.0);
+        let algo = build_algorithm(kind, ctx.clone(), VcConfig::paper());
+        let sequential = {
+            let mut sim = Simulator::new(algo, ctx.clone(), wl.clone(), cfg);
+            serde_json::to_string(&sim.run()).unwrap()
+        };
+        let algo = build_algorithm(kind, ctx.clone(), VcConfig::paper());
+        let sharded = {
+            let mut sim = Simulator::new(algo, ctx, wl, cfg.with_shards(shards));
+            let report = sim.run();
+            sim.check_invariants();
+            serde_json::to_string(&report).unwrap()
+        };
+        prop_assert_eq!(sequential, sharded, "shards={} diverged", shards);
+    }
+}
+
+/// One simulator `reset` between runs with *differing* shard counts must
+/// keep reproducing the sequential oracle byte for byte — the shard
+/// runtime is torn down, rebuilt, and reshaped across the chain.
+#[test]
+fn reset_chains_across_shard_counts_match_the_oracle() {
+    let mesh = Mesh::square(10);
+    let ctx = Arc::new(RoutingContext::new(
+        mesh.clone(),
+        FaultPattern::fault_free(&mesh),
+    ));
+    let base = SimConfig {
+        warmup_cycles: 100,
+        measure_cycles: 300,
+        ..SimConfig::paper()
+    };
+    let chain: [(AlgorithmKind, u16, u64); 5] = [
+        (AlgorithmKind::Duato, 1, 11),
+        (AlgorithmKind::Nbc, 4, 22),
+        (AlgorithmKind::Xy, 2, 33),
+        (AlgorithmKind::FullyAdaptive, 8, 44),
+        (AlgorithmKind::PHop, 1, 55),
+    ];
+    let mut reused: Option<Simulator> = None;
+    for (kind, shards, seed) in chain {
+        let cfg = base.with_seed(seed).with_shards(shards);
+        let wl = Workload::paper_uniform(0.004);
+        let algo = build_algorithm(kind, ctx.clone(), VcConfig::paper());
+        let warm = match reused.as_mut() {
+            None => {
+                let mut sim = Simulator::new(algo, ctx.clone(), wl.clone(), cfg);
+                let report = sim.run();
+                reused = Some(sim);
+                report
+            }
+            Some(sim) => {
+                sim.reset(algo, ctx.clone(), wl.clone(), cfg);
+                let report = sim.run();
+                sim.check_invariants();
+                report
+            }
+        };
+        // Oracle: a freshly constructed sequential run.
+        let algo = build_algorithm(kind, ctx.clone(), VcConfig::paper());
+        let fresh = Simulator::new(algo, ctx.clone(), wl, cfg.with_shards(1)).run();
+        assert_eq!(
+            serde_json::to_string(&warm).unwrap(),
+            serde_json::to_string(&fresh).unwrap(),
+            "{kind:?} at shards={shards} diverged from the sequential oracle"
+        );
+    }
+}
+
+/// The config-validation satellite: a zero shard count surfaces as a typed
+/// error from the fallible constructors instead of a panic mid-sweep.
+#[test]
+fn zero_shards_is_a_config_error() {
+    let mesh = Mesh::square(4);
+    let ctx = Arc::new(RoutingContext::new(
+        mesh.clone(),
+        FaultPattern::fault_free(&mesh),
+    ));
+    let algo = build_algorithm(AlgorithmKind::Xy, ctx.clone(), VcConfig::paper());
+    let err = Simulator::try_new(
+        algo,
+        ctx,
+        Workload::paper_uniform(0.001),
+        SimConfig::quick().with_shards(0),
+    )
+    .err()
+    .expect("zero shards must be rejected");
+    assert_eq!(err, ConfigError::ZeroShards);
+}

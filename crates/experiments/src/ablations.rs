@@ -66,7 +66,7 @@ pub fn ablation_vc_budget(cfg: &ExperimentConfig) -> FigureResult {
         cfg.threads,
         cfg.progress,
         "vc budget ablation",
-        run_custom,
+        |s| run_custom(s).expect("runnable spec"),
     );
     let mut thr = Table::new(
         "Saturation throughput vs VC budget (uniform traffic, near-saturation load)",
@@ -131,7 +131,7 @@ pub fn ablation_message_length(cfg: &ExperimentConfig) -> FigureResult {
         cfg.threads,
         cfg.progress,
         "message length ablation",
-        run_custom,
+        |s| run_custom(s).expect("runnable spec"),
     );
     let mut thr = Table::new(
         "Saturation throughput vs message length (offered 0.4 flits/node/cycle)",
@@ -194,7 +194,7 @@ pub fn ablation_buffer_depth(cfg: &ExperimentConfig) -> FigureResult {
         cfg.threads,
         cfg.progress,
         "buffer depth ablation",
-        run_custom,
+        |s| run_custom(s).expect("runnable spec"),
     );
     let mut thr = Table::new(
         "Saturation throughput vs per-VC buffer depth",
@@ -257,7 +257,7 @@ pub fn ablation_traffic_patterns(cfg: &ExperimentConfig) -> FigureResult {
         cfg.threads,
         cfg.progress,
         "traffic patterns ablation",
-        run_custom,
+        |s| run_custom(s).expect("runnable spec"),
     );
     let mut thr = Table::new(
         "Saturation throughput vs traffic pattern",
@@ -324,7 +324,7 @@ pub fn ablation_misroute_limit(cfg: &ExperimentConfig) -> FigureResult {
         cfg.threads,
         cfg.progress,
         "misroute limit ablation",
-        run_custom,
+        |s| run_custom(s).expect("runnable spec"),
     );
     let mut thr = Table::new(
         "Fully-Adaptive throughput vs misroute limit",
@@ -381,7 +381,7 @@ pub fn ablation_arbitration(cfg: &ExperimentConfig) -> FigureResult {
         cfg.threads,
         cfg.progress,
         "arbitration ablation",
-        run_custom,
+        |s| run_custom(s).expect("runnable spec"),
     );
     let mut table = Table::new(
         "Throughput / latency / recoveries by arbitration policy (§5.2 layout, full load)",
@@ -455,7 +455,7 @@ pub fn ablation_turn_models(cfg: &ExperimentConfig) -> FigureResult {
         cfg.threads,
         cfg.progress,
         "turn models ablation",
-        run_custom,
+        |s| run_custom(s).expect("runnable spec"),
     );
     let mut thr = Table::new(
         "Saturation throughput: turn-model baselines vs adaptive roster",
@@ -527,7 +527,7 @@ pub fn ablation_mesh_size(cfg: &ExperimentConfig) -> FigureResult {
         cfg.threads,
         cfg.progress,
         "mesh size ablation",
-        run_custom,
+        |s| run_custom(s).expect("runnable spec"),
     );
     let mut thr = Table::new(
         "Saturation throughput vs mesh radix (offered 0.6/k flits/node/cycle)",

@@ -26,10 +26,17 @@
 //! exactly (simulation results are deterministic and machine-
 //! independent), and cycles/sec — plus the sweep's runs/sec — must stay
 //! above 85 % of the baseline.
+//! A **sharded-engine** section times one 64×64 run split across the
+//! worker pool (`SimConfig.shards`) against the sequential path,
+//! asserting byte-identical reports before recording anything; the
+//! record carries the machine's visible core count so the speedup is
+//! interpretable (on one core the sharded pass is expected to trail).
+//!
 //! Set `WORMSIM_SKIP_PERF_GATE=1` to skip the throughput thresholds —
 //! e.g. on throttled or heavily shared CI machines — while keeping the
 //! fingerprint checks. `--sweep-only` runs (and gates) just the sweep
-//! section: the cheap CI smoke mode.
+//! section, `--shard-only` just the sharded-engine section: the cheap
+//! CI smoke modes.
 //!
 //! ```text
 //! cargo run --release -p wormsim-experiments --bin bench_engine
@@ -57,6 +64,14 @@ use wormsim_traffic::Workload;
 const MESH_SIZE: u16 = 10;
 const RATE: f64 = 0.01;
 const SEED: u64 = 0xB41C;
+
+/// Sharded-engine section: mesh radix where intra-run sharding is meant
+/// to pay (the paper-scale 10×10 is far too small), the shard count
+/// benchmarked against the sequential oracle, and a rate that keeps the
+/// big mesh busy without saturating the schedule.
+const SHARD_MESH: u16 = 64;
+const SHARD_COUNT: u16 = 8;
+const SHARD_RATE: f64 = 0.002;
 
 /// Fraction of the baseline's cycles/sec below which `--check` fails.
 const GATE_FLOOR: f64 = 0.85;
@@ -120,6 +135,38 @@ struct BenchRecord {
     /// Sweep-throughput section: the fig-4-shaped batch through the
     /// harness reuse machinery vs per-run rebuild.
     sweep: SweepRecord,
+    /// Sharded-engine section: one big-mesh simulation split across the
+    /// worker pool vs the sequential path.
+    shard: ShardRecord,
+}
+
+#[derive(Serialize)]
+struct ShardRecord {
+    /// Mesh radix of the sharded benchmark (64: big enough that one run
+    /// dominates wall-clock and column bands carry real work).
+    mesh_size: u16,
+    /// Shard count of the sharded pass (the sequential pass is shards=1).
+    shards: u16,
+    /// Physical cores visible to this process when the record was made.
+    /// Sharding cannot beat the sequential path on fewer cores than
+    /// shards; the recorded speedup is only meaningful alongside this.
+    cores: usize,
+    rate: f64,
+    warmup_cycles: u64,
+    measure_cycles: u64,
+    repeats: u32,
+    /// Best-of-repeats wall-clock of the sequential (shards=1) run.
+    sequential_secs: f64,
+    sequential_cycles_per_sec: f64,
+    /// Best-of-repeats wall-clock of the sharded run.
+    sharded_secs: f64,
+    sharded_cycles_per_sec: f64,
+    /// `sharded_cycles_per_sec / sequential_cycles_per_sec`.
+    speedup: f64,
+    /// FNV-1a over the run's serialized `SimReport` — asserted identical
+    /// between the sequential and sharded passes before any timing is
+    /// recorded, so the record never exists for a divergent engine.
+    shard_fingerprint: String,
 }
 
 #[derive(Serialize)]
@@ -158,7 +205,7 @@ struct RoutingDecisionRecord {
 fn usage() -> ! {
     eprintln!(
         "usage: bench_engine [--out PATH] [--dump-report PATH] [--repeats N] [--check BASELINE] \
-         [--sweep-only]"
+         [--sweep-only] [--shard-only]"
     );
     std::process::exit(2);
 }
@@ -327,6 +374,93 @@ fn sweep_throughput(repeats: u32) -> SweepRecord {
     }
 }
 
+/// One timed 64×64 run at the given shard count on a reused simulator.
+/// Returns wall-clock seconds for the whole schedule and the report
+/// fingerprint.
+fn shard_pass(
+    sim: &mut Simulator,
+    algo: &Arc<dyn wormsim_routing::RoutingAlgorithm>,
+    ctx: &Arc<RoutingContext>,
+    wl: &Workload,
+    cfg: SimConfig,
+    shards: u16,
+) -> (f64, String) {
+    sim.reset(
+        algo.clone(),
+        ctx.clone(),
+        wl.clone(),
+        cfg.with_shards(shards),
+    );
+    let start = Instant::now();
+    for _ in 0..cfg.total_cycles() {
+        sim.step();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let json = serde_json::to_string(&sim.report()).expect("report serializes");
+    (secs, format!("{:016x}", fnv1a(json.as_bytes())))
+}
+
+/// The sharded-engine benchmark: a 64×64 Duato run, sequential vs
+/// [`SHARD_COUNT`] shards, byte-identity asserted, then best-of-`repeats`
+/// timings for both. Numbers are honest for the machine at hand — the
+/// record carries the visible core count, and on a single core the
+/// sharded pass is expected to trail the sequential one (merge overhead
+/// with no parallelism to pay for it).
+fn shard_bench(repeats: u32) -> ShardRecord {
+    let mesh = Mesh::square(SHARD_MESH);
+    let ctx = Arc::new(RoutingContext::new(
+        mesh.clone(),
+        FaultPattern::fault_free(&mesh),
+    ));
+    let algo: Arc<dyn wormsim_routing::RoutingAlgorithm> =
+        build_algorithm(AlgorithmKind::Duato, ctx.clone(), VcConfig::paper()).into();
+    let cfg = SimConfig {
+        warmup_cycles: 200,
+        measure_cycles: 600,
+        ..SimConfig::paper()
+    }
+    .with_seed(SEED);
+    let wl = Workload::paper_uniform(SHARD_RATE);
+    let mut sim = Simulator::new(algo.clone(), ctx.clone(), wl.clone(), cfg);
+
+    // Equivalence first: no timing record exists for a divergent engine.
+    let (mut sequential_secs, seq_fp) = shard_pass(&mut sim, &algo, &ctx, &wl, cfg, 1);
+    let (mut sharded_secs, sh_fp) = shard_pass(&mut sim, &algo, &ctx, &wl, cfg, SHARD_COUNT);
+    assert_eq!(
+        seq_fp, sh_fp,
+        "sharded {SHARD_MESH}×{SHARD_MESH} run diverged from the sequential oracle"
+    );
+    for i in 1..repeats {
+        let (secs, _) = shard_pass(&mut sim, &algo, &ctx, &wl, cfg, 1);
+        sequential_secs = sequential_secs.min(secs);
+        let (secs, _) = shard_pass(&mut sim, &algo, &ctx, &wl, cfg, SHARD_COUNT);
+        sharded_secs = sharded_secs.min(secs);
+        eprintln!(
+            "shard {}/{repeats}: sequential {sequential_secs:.3}s, \
+             {SHARD_COUNT}-shard {sharded_secs:.3}s",
+            i + 1,
+        );
+    }
+    let cycles = cfg.total_cycles() as f64;
+    let sequential_cycles_per_sec = cycles / sequential_secs;
+    let sharded_cycles_per_sec = cycles / sharded_secs;
+    ShardRecord {
+        mesh_size: SHARD_MESH,
+        shards: SHARD_COUNT,
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        rate: SHARD_RATE,
+        warmup_cycles: cfg.warmup_cycles,
+        measure_cycles: cfg.measure_cycles,
+        repeats,
+        sequential_secs,
+        sequential_cycles_per_sec,
+        sharded_secs,
+        sharded_cycles_per_sec,
+        speedup: sharded_cycles_per_sec / sequential_cycles_per_sec,
+        shard_fingerprint: seq_fp,
+    }
+}
+
 /// One full paper-scale run, stepped in two phases so the allocation
 /// counter can bracket the measurement window. Returns the report, the
 /// wall-clock seconds for the whole schedule (warm-up included, matching
@@ -426,12 +560,17 @@ fn load_baseline(path: &str) -> serde_json::Value {
 
 /// Gate the sweep section against the baseline's: exact fingerprint
 /// match, runs/sec at [`GATE_FLOOR`] of the baseline unless
-/// `WORMSIM_SKIP_PERF_GATE` is set. Baselines predating the sweep
-/// section pass with a notice (regenerate them to arm the gate).
+/// `WORMSIM_SKIP_PERF_GATE` is set. A baseline predating the sweep
+/// section is a hard failure — it used to pass with a notice, which
+/// silently disarmed every sweep check until someone noticed.
 fn check_sweep_against_baseline(sweep: &SweepRecord, base: &serde_json::Value) {
     let Some(base_sweep) = base.get("sweep") else {
-        eprintln!("perf gate: baseline has no sweep section; sweep checks skipped");
-        return;
+        eprintln!(
+            "PERF GATE FAILED: baseline has no sweep section, so the sweep gate cannot run — \
+             regenerate the baseline (cargo run --release -p wormsim-experiments --bin \
+             bench_engine) and commit the new BENCH_engine.json"
+        );
+        std::process::exit(1);
     };
     let base_fp = base_sweep
         .get("sweep_fingerprint")
@@ -474,6 +613,61 @@ fn check_sweep_against_baseline(sweep: &SweepRecord, base: &serde_json::Value) {
     );
 }
 
+/// Gate the shard section against the baseline's: exact fingerprint
+/// match (the sharded engine must keep producing oracle-identical
+/// results), sharded cycles/sec at [`GATE_FLOOR`] of the baseline unless
+/// `WORMSIM_SKIP_PERF_GATE` is set. A baseline without the section is a
+/// hard failure, same policy as the sweep gate.
+fn check_shard_against_baseline(shard: &ShardRecord, base: &serde_json::Value) {
+    let Some(base_shard) = base.get("shard") else {
+        eprintln!(
+            "PERF GATE FAILED: baseline has no shard section, so the shard gate cannot run — \
+             regenerate the baseline (cargo run --release -p wormsim-experiments --bin \
+             bench_engine) and commit the new BENCH_engine.json"
+        );
+        std::process::exit(1);
+    };
+    let base_fp = base_shard
+        .get("shard_fingerprint")
+        .and_then(|v| v.as_str())
+        .expect("baseline shard has shard_fingerprint");
+    let base_cps = base_shard
+        .get("sharded_cycles_per_sec")
+        .and_then(|v| v.as_f64())
+        .expect("baseline shard has sharded_cycles_per_sec");
+    if shard.shard_fingerprint != base_fp {
+        eprintln!(
+            "PERF GATE FAILED: shard fingerprint {} != baseline {base_fp} — \
+             the change altered big-mesh results, not just speed",
+            shard.shard_fingerprint
+        );
+        std::process::exit(1);
+    }
+    let floor = base_cps * GATE_FLOOR;
+    if std::env::var_os("WORMSIM_SKIP_PERF_GATE").is_some() {
+        eprintln!(
+            "perf gate: shard fingerprint OK; throughput check skipped \
+             (WORMSIM_SKIP_PERF_GATE): {:.0} sharded cycles/sec vs baseline {base_cps:.0}",
+            shard.sharded_cycles_per_sec
+        );
+        return;
+    }
+    if shard.sharded_cycles_per_sec < floor {
+        eprintln!(
+            "PERF GATE FAILED: shard {:.0} cycles/sec < {floor:.0} \
+             ({:.0}% of baseline {base_cps:.0})",
+            shard.sharded_cycles_per_sec,
+            GATE_FLOOR * 100.0
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "perf gate: shard OK — {:.0} sharded cycles/sec vs baseline {base_cps:.0} \
+         (floor {floor:.0}), fingerprint {}",
+        shard.sharded_cycles_per_sec, shard.shard_fingerprint
+    );
+}
+
 /// Gate the fresh record against a committed baseline. The fingerprint
 /// must match exactly; cycles/sec must reach [`GATE_FLOOR`] of the
 /// baseline unless `WORMSIM_SKIP_PERF_GATE` is set.
@@ -504,6 +698,7 @@ fn check_against_baseline(record: &BenchRecord, path: &str) {
             record.cycles_per_sec
         );
         check_sweep_against_baseline(&record.sweep, &base);
+        check_shard_against_baseline(&record.shard, &base);
         return;
     }
     if record.cycles_per_sec < floor {
@@ -521,6 +716,7 @@ fn check_against_baseline(record: &BenchRecord, path: &str) {
         record.cycles_per_sec, record.report_fingerprint
     );
     check_sweep_against_baseline(&record.sweep, &base);
+    check_shard_against_baseline(&record.shard, &base);
 }
 
 fn main() {
@@ -529,6 +725,7 @@ fn main() {
     let mut check = None;
     let mut repeats = 3u32;
     let mut sweep_only = false;
+    let mut shard_only = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -537,6 +734,7 @@ fn main() {
             "--dump-report" => dump_report = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "--check" => check = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "--sweep-only" => sweep_only = true,
+            "--shard-only" => shard_only = true,
             "--repeats" => {
                 repeats = it
                     .next()
@@ -549,6 +747,21 @@ fn main() {
     }
     let repeats = repeats.max(1);
 
+    if shard_only {
+        // CI smoke mode for the sharded engine: byte-identity on the big
+        // mesh plus (unless skipped) the throughput floor, without the
+        // paper-scale run or the sweep batch.
+        let shard = shard_bench(repeats);
+        if let Some(path) = &check {
+            check_shard_against_baseline(&shard, &load_baseline(path));
+        }
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&shard).expect("shard serializes")
+        );
+        return;
+    }
+
     let sweep = sweep_throughput(repeats);
     if sweep_only {
         if let Some(path) = &check {
@@ -560,6 +773,7 @@ fn main() {
         );
         return;
     }
+    let shard = shard_bench(repeats);
 
     let cfg = SimConfig::paper();
     let mut best_secs = f64::INFINITY;
@@ -609,6 +823,7 @@ fn main() {
         routing_decision_ns: routing_decision_bench(),
         report_fingerprint: format!("{:016x}", fnv1a(report_json.as_bytes())),
         sweep,
+        shard,
     };
     if let Some(path) = &check {
         check_against_baseline(&record, path);

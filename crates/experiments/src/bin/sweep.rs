@@ -137,7 +137,9 @@ fn main() {
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4);
-    let reports = parallel_map_with_progress(&specs, threads, progress, "sweep", run_custom);
+    let reports = parallel_map_with_progress(&specs, threads, progress, "sweep", |s| {
+        run_custom(s).expect("runnable spec")
+    });
 
     let mut thr = Table::new(
         "normalized throughput",

@@ -87,7 +87,7 @@ pub fn fig1_saturation_throughput(cfg: &ExperimentConfig) -> FigureResult {
         })
         .collect();
     let reports = parallel_map_with_progress(&specs, cfg.threads, cfg.progress, "fig1", |s| {
-        run_single(cfg, s)
+        run_single(cfg, s).expect("runnable spec")
     });
     let mut table = Table::new(
         "Saturation throughput vs traffic generation rate (fault-free 10×10 mesh)",
@@ -130,7 +130,7 @@ pub fn fig2_latency_vs_rate(cfg: &ExperimentConfig) -> FigureResult {
         })
         .collect();
     let reports = parallel_map_with_progress(&specs, cfg.threads, cfg.progress, "fig2", |s| {
-        run_single(cfg, s)
+        run_single(cfg, s).expect("runnable spec")
     });
     let mut table = Table::new(
         "Average message latency vs traffic generation rate (fault-free 10×10 mesh)",
@@ -190,7 +190,7 @@ pub fn fig3_vc_utilization(cfg: &ExperimentConfig) -> FigureResult {
             cfg.threads,
             cfg.progress,
             &format!("fig3 panel {panel}"),
-            |s| run_single(cfg, s),
+            |s| run_single(cfg, s).expect("runnable spec"),
         );
         let mut table = Table::new(
             format!("Per-VC utilization (%) at 5% faults — panel {panel}"),
@@ -255,7 +255,7 @@ fn fault_sweep(cfg: &ExperimentConfig, salt: u64) -> Vec<(usize, AlgorithmKind, 
             cfg.threads,
             cfg.progress,
             &format!("fault sweep ({faults} faults)"),
-            |s| run_single(cfg, s),
+            |s| run_single(cfg, s).expect("runnable spec"),
         );
         for (ki, &kind) in kinds.iter().enumerate() {
             let slice = reports[ki * patterns.len()..(ki + 1) * patterns.len()].to_vec();
@@ -384,7 +384,7 @@ pub fn fig6_fring_traffic(cfg: &ExperimentConfig) -> FigureResult {
         .collect();
     let reports =
         parallel_map_with_progress(&specs, cfg.threads, cfg.progress, "fig6", |(_, s)| {
-            run_single(cfg, s)
+            run_single(cfg, s).expect("runnable spec")
         });
 
     let mut table = Table::new(

@@ -1,319 +1,7 @@
-//! A persistent worker pool for the experiment fan-out.
-//!
-//! `parallel_map` used to spawn and join a fresh set of scoped threads per
-//! call — hundreds of times per figure sweep. The pool here keeps one set
-//! of workers alive for the whole process; each batch posts a type-erased
-//! job, the workers chunk-claim item indices off a shared counter, and the
-//! calling thread participates as the first worker, so a one-item batch
-//! touches no thread machinery at all. Workers own long-lived state (the
-//! runner parks a reusable `Simulator` in a thread-local), which is what
-//! makes `Simulator::reset` pay off across a sweep.
-//!
-//! Batches are serialized: one job runs at a time, and a second caller
-//! blocks until the first finishes. The experiment harness never nests
-//! `parallel_map` calls, so serialization only matters when independent
-//! test threads race — they queue up, which is correct, just not parallel.
-//! (Nesting a `parallel_map` inside another would deadlock on the job
-//! guard; don't.)
+//! Re-export shim: the persistent worker pool moved into `wormsim-engine`
+//! (`wormsim_engine::pool`) so the sharded simulator can post per-cycle
+//! jobs to the same pool the experiment fan-out uses. Experiment code
+//! keeps importing it from here.
 
-use std::any::Any;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
-use std::thread;
-
-/// How many items one `fetch_add` claims. Coarser chunks amortize the
-/// shared counter; 8 chunks per worker keeps the tail balanced.
-fn chunk_size(total: usize, workers: usize) -> usize {
-    (total / (workers * 8).max(1)).max(1)
-}
-
-/// A panic payload captured from a worker (first one wins).
-type PanicSlot = Mutex<Option<Box<dyn Any + Send>>>;
-
-/// The state of the currently posted job. All references are
-/// lifetime-erased pointers into the posting caller's stack frame; they
-/// are dereferenced only by enrolled workers, and the caller does not
-/// return until every enrolled worker has checked out (under the pool
-/// mutex), so the erasure is sound.
-#[derive(Clone, Copy)]
-struct ActiveJob {
-    task: &'static (dyn Fn(usize) + Sync),
-    next: &'static AtomicUsize,
-    panic: &'static PanicSlot,
-    total: usize,
-    chunk: usize,
-}
-
-struct JobSlot {
-    /// Bumped once per posted job so a worker never enrolls twice in the
-    /// same batch.
-    epoch: u64,
-    /// The live job, `None` while idle or once enrollment has closed.
-    job: Option<ActiveJob>,
-    /// Workers enrolled in the live job.
-    enrolled: usize,
-    /// How many more workers may enroll (clamped to outstanding chunks).
-    open_seats: usize,
-    /// Enrolled workers that have finished claiming.
-    exited: usize,
-}
-
-struct Inner {
-    state: Mutex<JobSlot>,
-    /// Signals workers that a job was posted.
-    ready: Condvar,
-    /// Signals the caller that a worker checked out.
-    done: Condvar,
-}
-
-/// The persistent pool. Use [`WorkerPool::global`]; worker threads are
-/// spawned lazily up to the largest `threads` any batch has asked for and
-/// live for the rest of the process.
-pub struct WorkerPool {
-    inner: &'static Inner,
-    /// Serializes batches (one job at a time).
-    job_guard: Mutex<()>,
-    /// Worker threads spawned so far.
-    spawned: Mutex<usize>,
-}
-
-impl WorkerPool {
-    /// The process-wide pool.
-    pub fn global() -> &'static WorkerPool {
-        static POOL: OnceLock<WorkerPool> = OnceLock::new();
-        POOL.get_or_init(|| {
-            let inner = Box::leak(Box::new(Inner {
-                state: Mutex::new(JobSlot {
-                    epoch: 0,
-                    job: None,
-                    enrolled: 0,
-                    open_seats: 0,
-                    exited: 0,
-                }),
-                ready: Condvar::new(),
-                done: Condvar::new(),
-            }));
-            WorkerPool {
-                inner,
-                job_guard: Mutex::new(()),
-                spawned: Mutex::new(0),
-            }
-        })
-    }
-
-    /// Run `task(i)` for every `i in 0..total` across at most `threads`
-    /// participants (the calling thread included) and block until all
-    /// items are done. Pool participation is clamped to the number of
-    /// outstanding chunks, so small batches enroll few (or zero) workers
-    /// instead of waking the whole pool. On a panic inside `task` the
-    /// first payload is returned along with how many items had been
-    /// claimed; remaining items still run (matching the old scoped-thread
-    /// fan-out, where sibling workers kept draining).
-    pub fn run(
-        &self,
-        threads: usize,
-        total: usize,
-        task: &(dyn Fn(usize) + Sync),
-    ) -> Result<(), (usize, Box<dyn Any + Send>)> {
-        if total == 0 {
-            return Ok(());
-        }
-        let _serial = self.job_guard.lock().expect("pool job guard");
-        let workers = threads.clamp(1, total);
-        let chunk = chunk_size(total, workers);
-        let chunks = total.div_ceil(chunk);
-        // The caller claims chunks too, so it fills the first seat.
-        let helpers = (workers - 1).min(chunks - 1);
-        self.ensure_workers(helpers);
-
-        let next = AtomicUsize::new(0);
-        let panic: PanicSlot = Mutex::new(None);
-        // Erase the borrows' lifetimes to park them in the shared slot;
-        // see `ActiveJob` for the validity argument.
-        let job = ActiveJob {
-            task: unsafe {
-                std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(
-                    task,
-                )
-            },
-            next: unsafe { std::mem::transmute::<&AtomicUsize, &'static AtomicUsize>(&next) },
-            panic: unsafe { std::mem::transmute::<&PanicSlot, &'static PanicSlot>(&panic) },
-            total,
-            chunk,
-        };
-        if helpers > 0 {
-            let mut s = self.inner.state.lock().expect("pool state");
-            s.epoch += 1;
-            s.job = Some(job);
-            s.enrolled = 0;
-            s.open_seats = helpers;
-            s.exited = 0;
-            drop(s);
-            self.inner.ready.notify_all();
-        }
-
-        claim_chunks(&job);
-
-        if helpers > 0 {
-            // Close enrollment, then wait for every enrolled worker to
-            // check out — only then may the stack frame (task, counters)
-            // be given up.
-            let mut s = self.inner.state.lock().expect("pool state");
-            s.job = None;
-            while s.exited < s.enrolled {
-                s = self.inner.done.wait(s).expect("pool state");
-            }
-        }
-
-        match panic.into_inner().expect("panic slot") {
-            None => Ok(()),
-            Some(payload) => Err((next.load(Ordering::Relaxed).min(total), payload)),
-        }
-    }
-
-    /// Spawn workers until at least `want` exist.
-    fn ensure_workers(&self, want: usize) {
-        let mut spawned = self.spawned.lock().expect("pool spawn count");
-        while *spawned < want {
-            let inner: &'static Inner = self.inner;
-            let name = format!("wormsim-worker-{}", *spawned);
-            thread::Builder::new()
-                .name(name)
-                .spawn(move || worker_loop(inner))
-                .expect("spawn pool worker");
-            *spawned += 1;
-        }
-    }
-}
-
-/// Claim and run chunks until the shared counter runs dry. Panics are
-/// caught per item; the first payload is kept for the caller to re-raise.
-fn claim_chunks(job: &ActiveJob) {
-    loop {
-        let start = job.next.fetch_add(job.chunk, Ordering::Relaxed);
-        if start >= job.total {
-            break;
-        }
-        let end = (start + job.chunk).min(job.total);
-        for i in start..end {
-            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (job.task)(i))) {
-                let mut slot = job.panic.lock().expect("panic slot");
-                if slot.is_none() {
-                    *slot = Some(payload);
-                }
-            }
-        }
-    }
-}
-
-fn worker_loop(inner: &'static Inner) {
-    let mut last_epoch = 0u64;
-    loop {
-        let job = {
-            let mut s = inner.state.lock().expect("pool state");
-            loop {
-                if s.epoch != last_epoch && s.open_seats > 0 {
-                    if let Some(job) = s.job {
-                        last_epoch = s.epoch;
-                        s.enrolled += 1;
-                        s.open_seats -= 1;
-                        break job;
-                    }
-                }
-                s = inner.ready.wait(s).expect("pool state");
-            }
-        };
-        claim_chunks(&job);
-        let mut s = inner.state.lock().expect("pool state");
-        s.exited += 1;
-        drop(s);
-        inner.done.notify_all();
-    }
-}
-
-/// A raw pointer the fan-out may share across threads: each task writes a
-/// distinct index, and the pool's completion handshake orders all writes
-/// before the caller reads.
-pub(crate) struct SyncPtr<T>(pub *mut T);
-
-impl<T> SyncPtr<T> {
-    /// The element pointer at `i`. Going through a method (rather than
-    /// the field) makes closures capture the `Sync` wrapper, not the raw
-    /// pointer inside it.
-    pub(crate) fn at(&self, i: usize) -> *mut T {
-        unsafe { self.0.add(i) }
-    }
-}
-
-unsafe impl<T: Send> Send for SyncPtr<T> {}
-unsafe impl<T: Send> Sync for SyncPtr<T> {}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::atomic::AtomicUsize;
-
-    #[test]
-    fn pool_runs_every_item_exactly_once() {
-        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
-        WorkerPool::global()
-            .run(8, hits.len(), &|i| {
-                hits[i].fetch_add(1, Ordering::Relaxed);
-            })
-            .expect("no panics");
-        for (i, h) in hits.iter().enumerate() {
-            assert_eq!(h.load(Ordering::Relaxed), 1, "item {i}");
-        }
-    }
-
-    #[test]
-    fn pool_zero_items_is_a_noop() {
-        WorkerPool::global()
-            .run(8, 0, &|_| unreachable!("no items to claim"))
-            .expect("empty batch");
-    }
-
-    #[test]
-    fn pool_single_item_runs_on_the_caller() {
-        let caller = thread::current().id();
-        let ran = AtomicUsize::new(0);
-        WorkerPool::global()
-            .run(16, 1, &|i| {
-                assert_eq!(i, 0);
-                // One chunk, one seat: the posting thread takes it.
-                assert_eq!(thread::current().id(), caller);
-                ran.fetch_add(1, Ordering::Relaxed);
-            })
-            .expect("no panics");
-        assert_eq!(ran.load(Ordering::Relaxed), 1);
-    }
-
-    #[test]
-    fn pool_reports_panics_with_claim_count() {
-        let err = WorkerPool::global()
-            .run(4, 10, &|i| {
-                if i == 3 {
-                    panic!("boom at {i}");
-                }
-            })
-            .expect_err("task panicked");
-        let (claimed, payload) = err;
-        assert!((1..=10).contains(&claimed), "claimed {claimed}");
-        let msg = payload.downcast_ref::<String>().expect("panic message");
-        assert!(msg.contains("boom"), "{msg}");
-    }
-
-    #[test]
-    fn pool_chunks_cover_uneven_totals() {
-        for total in [1usize, 2, 3, 7, 17, 63, 64, 65] {
-            let sum = AtomicUsize::new(0);
-            WorkerPool::global()
-                .run(5, total, &|i| {
-                    sum.fetch_add(i + 1, Ordering::Relaxed);
-                })
-                .expect("no panics");
-            assert_eq!(sum.load(Ordering::Relaxed), total * (total + 1) / 2);
-        }
-    }
-}
+pub(crate) use wormsim_engine::pool::SyncPtr;
+pub use wormsim_engine::WorkerPool;

@@ -14,7 +14,7 @@ use crate::pool::{SyncPtr, WorkerPool};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use wormsim_engine::{SimConfig, Simulator};
+use wormsim_engine::{ConfigError, SimConfig, Simulator};
 use wormsim_fault::FaultPattern;
 use wormsim_metrics::SimReport;
 use wormsim_obs::Progress;
@@ -44,32 +44,37 @@ thread_local! {
     static WORKER_SIM: RefCell<Option<Simulator>> = const { RefCell::new(None) };
 }
 
-/// Run one simulation on this thread's reusable simulator.
+/// Run one simulation on this thread's reusable simulator. A
+/// configuration the engine cannot honor comes back as a typed
+/// [`ConfigError`] (the `try_reset` rejection leaves the parked simulator
+/// untouched and reusable), so one bad spec no longer panics a whole
+/// sweep off the pool.
 fn run_reusing_sim(
     algo: Arc<dyn RoutingAlgorithm>,
     ctx: Arc<RoutingContext>,
     workload: Workload,
     cfg: SimConfig,
-) -> SimReport {
+) -> Result<SimReport, ConfigError> {
     WORKER_SIM.with(|cell| {
         let mut slot = cell.borrow_mut();
         match slot.as_mut() {
             Some(sim) => {
-                sim.reset(algo, ctx, workload, cfg);
-                sim.run()
+                sim.try_reset(algo, ctx, workload, cfg)?;
+                Ok(sim.run())
             }
             None => {
-                let mut sim = Simulator::new(algo, ctx, workload, cfg);
+                let mut sim = Simulator::try_new(algo, ctx, workload, cfg)?;
                 let report = sim.run();
                 *slot = Some(sim);
-                report
+                Ok(report)
             }
         }
     })
 }
 
-/// Run one simulation to completion and return its report.
-pub fn run_single(cfg: &ExperimentConfig, spec: &RunSpec) -> SimReport {
+/// Run one simulation to completion and return its report, or the
+/// [`ConfigError`] explaining why the spec's configuration is unrunnable.
+pub fn run_single(cfg: &ExperimentConfig, spec: &RunSpec) -> Result<SimReport, ConfigError> {
     let (ctx, algo) = {
         let mut cache = shared_cache().lock().expect("context cache");
         let ctx = cache.context(cfg.mesh_size, &spec.pattern);
@@ -103,8 +108,9 @@ pub struct CustomSpec {
     pub workload: Workload,
 }
 
-/// Run a fully parameterized simulation.
-pub fn run_custom(spec: &CustomSpec) -> SimReport {
+/// Run a fully parameterized simulation, or return the [`ConfigError`]
+/// explaining why the spec's configuration is unrunnable.
+pub fn run_custom(spec: &CustomSpec) -> Result<SimReport, ConfigError> {
     let (ctx, algo) = {
         let mut cache = shared_cache().lock().expect("context cache");
         let ctx = cache.context(spec.mesh_size, &spec.pattern);
@@ -253,9 +259,33 @@ mod tests {
             rate: 0.002,
             seed: 1,
         };
-        let report = run_single(&cfg, &spec);
+        let report = run_single(&cfg, &spec).expect("runnable config");
         assert!(report.throughput.messages_delivered() > 0);
         assert_eq!(report.algorithm, "Duato's routing");
+    }
+
+    #[test]
+    fn bad_config_is_an_error_and_spares_the_parked_simulator() {
+        // A spec the engine cannot honor must surface as a typed error —
+        // not a panic that poisons the worker — and the thread's parked
+        // simulator must stay reusable for the next good spec.
+        let mut cfg = ExperimentConfig::new(Scale::Quick);
+        cfg.sim.warmup_cycles = 100;
+        cfg.sim.measure_cycles = 300;
+        let mesh = Mesh::square(10);
+        let spec = RunSpec {
+            kind: AlgorithmKind::Duato,
+            pattern: Arc::new(FaultPattern::fault_free(&mesh)),
+            rate: 0.002,
+            seed: 3,
+        };
+        let good = serde_json::to_string(&run_single(&cfg, &spec).unwrap()).unwrap();
+        let mut bad_cfg = cfg;
+        bad_cfg.sim.shards = 0;
+        let err = run_single(&bad_cfg, &spec).unwrap_err();
+        assert_eq!(err, wormsim_engine::ConfigError::ZeroShards);
+        let again = serde_json::to_string(&run_single(&cfg, &spec).unwrap()).unwrap();
+        assert_eq!(good, again, "rejected reset corrupted the parked simulator");
     }
 
     #[test]
@@ -280,11 +310,11 @@ mod tests {
             rate: 0.001,
             seed: 9,
         };
-        let first = serde_json::to_string(&run_single(&cfg, &spec_a)).unwrap();
+        let first = serde_json::to_string(&run_single(&cfg, &spec_a).unwrap()).unwrap();
         // Interleave another spec so spec_a's second run goes through a
         // reset from a different (kind, rate, seed) state.
-        let _ = run_single(&cfg, &spec_b);
-        let again = serde_json::to_string(&run_single(&cfg, &spec_a)).unwrap();
+        let _ = run_single(&cfg, &spec_b).unwrap();
+        let again = serde_json::to_string(&run_single(&cfg, &spec_a).unwrap()).unwrap();
         assert_eq!(first, again);
     }
 }

@@ -42,7 +42,9 @@ fn main() {
             seed: 42,
         })
         .collect();
-    let mut reports = parallel_map(&specs, cfg.threads, |s| run_single(&cfg, s));
+    let mut reports = parallel_map(&specs, cfg.threads, |s| {
+        run_single(&cfg, s).expect("runnable spec")
+    });
     reports.sort_by(|a, b| {
         b.normalized_throughput()
             .partial_cmp(&a.normalized_throughput())
