@@ -15,6 +15,14 @@ pub enum ConfigError {
         /// The bitmask ceiling (32).
         limit: u8,
     },
+    /// The BC overlay's reserved share exceeds the total VC budget, so
+    /// no base virtual channels would remain.
+    BcShareExceedsTotal {
+        /// Total VCs per physical channel.
+        total: u8,
+        /// VCs the Boppana–Chalasani overlay reserves.
+        bc_vcs: u8,
+    },
     /// `SimConfig.shards` is zero; the engine needs at least one shard
     /// (1 = the sequential path).
     ZeroShards,
@@ -27,6 +35,10 @@ impl fmt::Display for ConfigError {
                 f,
                 "algorithm requests {requested} virtual channels but the engine's \
                  occupancy bitmasks hold at most {limit}"
+            ),
+            ConfigError::BcShareExceedsTotal { total, bc_vcs } => write!(
+                f,
+                "BC overlay reserves {bc_vcs} virtual channels but only {total} exist"
             ),
             ConfigError::ZeroShards => {
                 write!(f, "SimConfig.shards must be >= 1 (1 = sequential path)")

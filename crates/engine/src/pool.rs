@@ -19,6 +19,15 @@
 //! run inline on the calling thread instead of deadlocking on the job
 //! guard.
 //!
+//! Besides the process-wide [`WorkerPool::global`] instance, callers that
+//! need a bounded lifetime — the serving layer most of all, which must
+//! join every thread on SIGTERM — can own a pool via [`WorkerPool::new`]
+//! and retire it with [`WorkerPool::shutdown`] (or just drop it: `Drop`
+//! shuts down too). Shutdown waits for any in-flight batch, wakes every
+//! idle worker, and joins them all, so a retired pool provably leaks no
+//! threads. A pool that has been shut down still accepts `run` calls; the
+//! batch simply executes on the calling thread.
+//!
 //! ## Panic discipline
 //!
 //! A panicking task must leave the pool reusable: the next batch on the
@@ -44,7 +53,7 @@ use std::any::Any;
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread;
 
 /// How many items one `fetch_add` claims. Coarser chunks amortize the
@@ -96,25 +105,34 @@ struct JobSlot {
     open_seats: usize,
     /// Enrolled workers that have finished claiming.
     exited: usize,
+    /// Set by [`WorkerPool::shutdown`]: idle workers return instead of
+    /// waiting for another job, and no new workers are spawned.
+    stop: bool,
 }
 
 struct Inner {
     state: Mutex<JobSlot>,
-    /// Signals workers that a job was posted.
+    /// Signals workers that a job was posted (or that shutdown began).
     ready: Condvar,
     /// Signals the caller that a worker checked out.
     done: Condvar,
 }
 
-/// The persistent pool. Use [`WorkerPool::global`]; worker threads are
-/// spawned lazily up to the largest `threads` any batch has asked for and
-/// live for the rest of the process.
+/// A persistent pool: worker threads are spawned lazily up to the largest
+/// `threads` any batch has asked for, and live until [`WorkerPool::shutdown`]
+/// (or drop) joins them. The process-wide instance from
+/// [`WorkerPool::global`] is never dropped and lives for the whole process.
 pub struct WorkerPool {
-    inner: &'static Inner,
+    inner: Arc<Inner>,
     /// Serializes batches (one job at a time).
     job_guard: Mutex<()>,
-    /// Worker threads spawned so far.
-    spawned: Mutex<usize>,
+    /// Join handles of the worker threads spawned so far; drained (and
+    /// joined) by `shutdown`.
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+    /// Unique thread-name prefix for this pool's workers. Short enough to
+    /// survive the kernel's 15-byte `comm` truncation, so tests (and
+    /// operators) can attribute a thread to its pool from `/proc`.
+    name_prefix: String,
 }
 
 /// Closes enrollment and drains enrolled workers when dropped — the
@@ -150,28 +168,79 @@ impl Drop for CheckoutGuard<'_> {
     }
 }
 
+impl Default for WorkerPool {
+    fn default() -> Self {
+        WorkerPool::new()
+    }
+}
+
 impl WorkerPool {
-    /// The process-wide pool.
+    /// The process-wide pool. It is never shut down: its workers live for
+    /// the rest of the process.
     pub fn global() -> &'static WorkerPool {
         static POOL: OnceLock<WorkerPool> = OnceLock::new();
-        POOL.get_or_init(|| {
-            let inner = Box::leak(Box::new(Inner {
+        POOL.get_or_init(WorkerPool::new)
+    }
+
+    /// A pool with its own worker set and lifetime. Workers spawn lazily
+    /// on the first batch that needs them; [`WorkerPool::shutdown`] (or
+    /// dropping the pool) joins every one of them.
+    pub fn new() -> WorkerPool {
+        static POOL_IDS: AtomicUsize = AtomicUsize::new(0);
+        let id = POOL_IDS.fetch_add(1, Ordering::Relaxed);
+        WorkerPool {
+            inner: Arc::new(Inner {
                 state: Mutex::new(JobSlot {
                     epoch: 0,
                     job: None,
                     enrolled: 0,
                     open_seats: 0,
                     exited: 0,
+                    stop: false,
                 }),
                 ready: Condvar::new(),
                 done: Condvar::new(),
-            }));
-            WorkerPool {
-                inner,
-                job_guard: Mutex::new(()),
-                spawned: Mutex::new(0),
-            }
-        })
+            }),
+            job_guard: Mutex::new(()),
+            workers: Mutex::new(Vec::new()),
+            name_prefix: format!("wsim{id}-"),
+        }
+    }
+
+    /// The name prefix of this pool's worker threads (e.g. `wsim0-`);
+    /// worker `n` is named `wsim0-w{n}`. Stable for the pool's lifetime,
+    /// unique per pool, and short enough to survive `/proc` comm
+    /// truncation — the thread-leak regression test keys off it.
+    pub fn thread_name_prefix(&self) -> &str {
+        &self.name_prefix
+    }
+
+    /// Worker threads currently alive (spawned and not yet joined).
+    pub fn worker_count(&self) -> usize {
+        lock_unpoisoned(&self.workers).len()
+    }
+
+    /// Retire the pool: wait for any in-flight batch, tell every idle
+    /// worker to exit, and join them all. Returns how many workers were
+    /// joined. Idempotent — a second call joins nothing and returns 0.
+    /// `run` remains usable afterwards; batches simply execute on the
+    /// calling thread.
+    pub fn shutdown(&self) -> usize {
+        // Serialize against a running batch: once the guard is held, no
+        // job is live and every worker is back in (or headed to) the wait
+        // loop, where it will observe `stop`.
+        let _serial = lock_unpoisoned(&self.job_guard);
+        {
+            let mut s = lock_unpoisoned(&self.inner.state);
+            s.stop = true;
+        }
+        self.inner.ready.notify_all();
+        let handles = std::mem::take(&mut *lock_unpoisoned(&self.workers));
+        let joined = handles.len();
+        for h in handles {
+            let _ = h.join();
+        }
+        joined
     }
 
     /// Run `task(i)` for every `i in 0..total` across at most `threads`
@@ -202,8 +271,15 @@ impl WorkerPool {
         let workers = threads.clamp(1, total);
         let chunk = chunk_size(total, workers);
         let chunks = total.div_ceil(chunk);
-        // The caller claims chunks too, so it fills the first seat.
-        let helpers = (workers - 1).min(chunks - 1);
+        // The caller claims chunks too, so it fills the first seat. A pool
+        // that has been shut down enrolls no helpers: the batch runs
+        // entirely on the caller.
+        let stopped = lock_unpoisoned(&self.inner.state).stop;
+        let helpers = if stopped {
+            0
+        } else {
+            (workers - 1).min(chunks - 1)
+        };
         self.ensure_workers(helpers);
 
         let next = AtomicUsize::new(0);
@@ -226,7 +302,7 @@ impl WorkerPool {
             // worker, so every exit from this scope — return or unwind —
             // closes enrollment and drains enrolled workers before the
             // erased stack frame can be given up.
-            let _close = (helpers > 0).then_some(JobCloseGuard { inner: self.inner });
+            let _close = (helpers > 0).then_some(JobCloseGuard { inner: &self.inner });
             if helpers > 0 {
                 let mut s = lock_unpoisoned(&self.inner.state);
                 s.epoch += 1;
@@ -253,16 +329,22 @@ impl WorkerPool {
 
     /// Spawn workers until at least `want` exist.
     fn ensure_workers(&self, want: usize) {
-        let mut spawned = lock_unpoisoned(&self.spawned);
-        while *spawned < want {
-            let inner: &'static Inner = self.inner;
-            let name = format!("wormsim-worker-{}", *spawned);
-            thread::Builder::new()
+        let mut workers = lock_unpoisoned(&self.workers);
+        while workers.len() < want {
+            let inner = Arc::clone(&self.inner);
+            let name = format!("{}w{}", self.name_prefix, workers.len());
+            let handle = thread::Builder::new()
                 .name(name)
-                .spawn(move || worker_loop(inner))
+                .spawn(move || worker_loop(&inner))
                 .expect("spawn pool worker");
-            *spawned += 1;
+            workers.push(handle);
         }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -313,12 +395,15 @@ fn claim_chunks(job: &ActiveJob) {
     }
 }
 
-fn worker_loop(inner: &'static Inner) {
+fn worker_loop(inner: &Inner) {
     let mut last_epoch = 0u64;
     loop {
         let job = {
             let mut s = lock_unpoisoned(&inner.state);
             loop {
+                if s.stop {
+                    return;
+                }
                 if s.epoch != last_epoch && s.open_seats > 0 {
                     if let Some(job) = s.job {
                         last_epoch = s.epoch;
@@ -467,6 +552,75 @@ mod tests {
             .expect("outer batch");
         for h in outer_hits.iter().chain(&inner_hits) {
             assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    /// Threads of `pool`, counted by name prefix from `/proc` (Linux; on
+    /// other platforms returns `None` and the callers skip the check).
+    /// The prefix is unique per pool, so concurrent tests spawning their
+    /// own (or the global pool's) threads cannot perturb the count.
+    fn named_thread_count(prefix: &str) -> Option<usize> {
+        let tasks = std::fs::read_dir("/proc/self/task").ok()?;
+        let mut n = 0;
+        for t in tasks.flatten() {
+            let comm = std::fs::read_to_string(t.path().join("comm")).unwrap_or_default();
+            if comm.trim_end().starts_with(prefix) {
+                n += 1;
+            }
+        }
+        Some(n)
+    }
+
+    #[test]
+    fn shutdown_joins_every_worker_and_is_idempotent() {
+        let pool = WorkerPool::new();
+        let hits: Vec<AtomicUsize> = (0..256).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(4, hits.len(), &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        })
+        .expect("no panics");
+        let alive = pool.worker_count();
+        assert!(alive >= 1, "a 256-item batch on 4 threads spawns helpers");
+        assert_eq!(pool.shutdown(), alive, "shutdown joins every worker");
+        assert_eq!(pool.shutdown(), 0, "second shutdown has nothing to join");
+        assert_eq!(pool.worker_count(), 0);
+    }
+
+    #[test]
+    fn run_after_shutdown_executes_inline() {
+        let pool = WorkerPool::new();
+        pool.run(4, 64, &|_| {}).expect("warm batch");
+        pool.shutdown();
+        let hits: Vec<AtomicUsize> = (0..32).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(8, hits.len(), &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        })
+        .expect("post-shutdown batch");
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "item {i}");
+        }
+        assert_eq!(pool.worker_count(), 0, "no workers respawn after shutdown");
+    }
+
+    #[test]
+    fn dropped_pool_leaks_no_threads() {
+        // Regression for the serving layer's SIGTERM path: dropping a
+        // pool must join its detached workers, not leak them. The check
+        // is by thread name (unique prefix per pool) so other tests'
+        // threads — the global pool's included — cannot interfere.
+        let prefix;
+        {
+            let pool = WorkerPool::new();
+            prefix = pool.thread_name_prefix().to_string();
+            pool.run(4, 256, &|_| {}).expect("no panics");
+            assert!(pool.worker_count() >= 1);
+            if let Some(n) = named_thread_count(&prefix) {
+                assert!(n >= 1, "workers visible in /proc while the pool lives");
+            }
+        }
+        // Drop joined the workers, so they are gone *now*, not eventually.
+        if let Some(n) = named_thread_count(&prefix) {
+            assert_eq!(n, 0, "dropped pool left {n} live worker threads");
         }
     }
 

@@ -9,7 +9,7 @@ use std::time::Instant;
 use wormsim_experiments::{
     ablation_arbitration, ablation_buffer_depth, ablation_mesh_size, ablation_message_length,
     ablation_misroute_limit, ablation_traffic_patterns, ablation_turn_models, ablation_vc_budget,
-    ExperimentConfig, FigureResult, Scale,
+    ExperimentConfig, FigureResult, Progress, Scale,
 };
 
 const NAMES: [&str; 8] = [
@@ -25,7 +25,8 @@ const NAMES: [&str; 8] = [
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ablations <{}|all> [--quick] [--plot] [--seed N] [--threads N] [--out DIR]",
+        "usage: ablations <{}|all> [--quick] [--plot] [--seed N] [--threads N] [--out DIR] \
+         [--quiet]",
         NAMES.join("|")
     );
     std::process::exit(2);
@@ -42,6 +43,7 @@ fn main() {
     let mut threads = None;
     let mut out_dir = "results".to_string();
     let mut plot = false;
+    let mut quiet = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -49,6 +51,7 @@ fn main() {
             "all" => which.extend(NAMES.iter().map(|s| s.to_string())),
             "--quick" => scale = Scale::Quick,
             "--plot" => plot = true,
+            "--quiet" => quiet = true,
             "--seed" => seed = Some(it.next().unwrap_or_else(|| usage()).parse().expect("seed")),
             "--threads" => {
                 threads = Some(
@@ -65,7 +68,8 @@ fn main() {
     if which.is_empty() {
         usage();
     }
-    let mut cfg = ExperimentConfig::new(scale);
+    let progress = Progress::from_quiet_flag(quiet);
+    let mut cfg = ExperimentConfig::new(scale).with_progress(progress);
     if let Some(s) = seed {
         cfg = cfg.with_seed(s);
     }
@@ -73,10 +77,10 @@ fn main() {
         cfg = cfg.with_threads(t);
     }
     std::fs::create_dir_all(&out_dir).expect("create results dir");
-    println!(
+    progress.out(format_args!(
         "# wormsim ablation studies ({:?} scale, seed {}, {} threads)\n",
         scale, cfg.base_seed, cfg.threads
-    );
+    ));
     for name in which {
         let t = Instant::now();
         let fig: FigureResult = match name.as_str() {
@@ -126,6 +130,6 @@ fn main() {
         )
         .expect("write json");
         std::fs::write(format!("{out_dir}/{}.md", fig.id), &md).expect("write md");
-        println!("{md}");
+        progress.out(format_args!("{md}"));
     }
 }

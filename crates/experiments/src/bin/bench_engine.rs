@@ -54,7 +54,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use wormsim_engine::{SimConfig, Simulator};
-use wormsim_experiments::ContextCache;
+use wormsim_experiments::{fnv1a, ContextCache};
 use wormsim_fault::FaultPattern;
 use wormsim_metrics::SimReport;
 use wormsim_routing::{build_algorithm, AlgorithmKind, RoutingContext, VcConfig};
@@ -543,15 +543,6 @@ fn routing_decision_bench() -> Vec<RoutingDecisionRecord> {
         .collect()
 }
 
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
 fn load_baseline(path: &str) -> serde_json::Value {
     let raw = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("--check: cannot read {path}: {e}"));
@@ -642,6 +633,33 @@ fn check_shard_against_baseline(shard: &ShardRecord, base: &serde_json::Value) {
             shard.shard_fingerprint
         );
         std::process::exit(1);
+    }
+    // Shard throughput scales with physical parallelism, so the floor
+    // only means something on a machine shaped like the one that
+    // recorded the baseline. On a core-count mismatch the fingerprint
+    // (already checked above) is the whole gate.
+    let base_cores = base_shard.get("cores").and_then(|v| v.as_u64());
+    let cur_cores = std::thread::available_parallelism().map_or(1, |n| n.get()) as u64;
+    match base_cores {
+        Some(bc) if bc != cur_cores => {
+            eprintln!(
+                "perf gate: shard fingerprint OK; throughput floor skipped — baseline was \
+                 recorded on {bc} cores but this machine shows {cur_cores}, so sharded \
+                 cycles/sec are not comparable ({:.0} here vs baseline {base_cps:.0})",
+                shard.sharded_cycles_per_sec
+            );
+            return;
+        }
+        None => {
+            eprintln!(
+                "perf gate: shard fingerprint OK; throughput floor skipped — baseline \
+                 predates the cores field, so there is no comparable machine shape on \
+                 record ({:.0} here vs baseline {base_cps:.0})",
+                shard.sharded_cycles_per_sec
+            );
+            return;
+        }
+        Some(_) => {}
     }
     let floor = base_cps * GATE_FLOOR;
     if std::env::var_os("WORMSIM_SKIP_PERF_GATE").is_some() {

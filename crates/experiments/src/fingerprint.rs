@@ -1,0 +1,110 @@
+//! Result and spec fingerprints.
+//!
+//! Two identities underpin the serving layer and the perf gates:
+//!
+//! - a **report fingerprint** — FNV-1a over a run's serialized
+//!   [`SimReport`]. Simulation results are deterministic per seed and
+//!   machine-independent, so the fingerprint is the result's identity:
+//!   `bench_engine --check` pins it against a committed baseline, and the
+//!   result cache in `wormsim-serve` stores it alongside each cached
+//!   report as an integrity check.
+//! - a **spec identity** — FNV-1a over the *semantic content* of a
+//!   [`RunSpec`](crate::RunSpec)/[`CustomSpec`](crate::CustomSpec)
+//!   (pattern faults by value, not `Arc` pointer). Two requests that
+//!   describe the same simulation hash equal even when their `Arc`s
+//!   differ, which is what makes it usable as a cross-client dedup/cache
+//!   key. See the `identity` methods on the spec types.
+
+use wormsim_metrics::SimReport;
+
+/// FNV-1a over a byte string: the workspace's standard cheap,
+/// dependency-free, stable 64-bit hash (same constants as the perf
+/// harness has always used, so committed fingerprints stay valid).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The fingerprint of a serialized report, formatted the way every
+/// baseline and results artifact records it (16 lowercase hex digits).
+pub fn report_json_fingerprint(report_json: &str) -> String {
+    format!("{:016x}", fnv1a(report_json.as_bytes()))
+}
+
+/// Serialize `report` compactly and fingerprint it. The compact form is
+/// the wire/cache form; the perf harness fingerprints the *pretty* form
+/// for historical reasons, so the two are distinct namespaces — never
+/// compare one against the other.
+pub fn report_fingerprint(report: &SimReport) -> String {
+    let json = serde_json::to_string(report).expect("report serializes");
+    report_json_fingerprint(&json)
+}
+
+/// Incremental FNV-1a accumulator for spec identities: feed it the
+/// serialized components separated by field tags so adjacent fields
+/// cannot alias (`"ab", "c"` vs `"a", "bc"`).
+pub(crate) struct IdentityHasher {
+    h: u64,
+}
+
+impl IdentityHasher {
+    pub(crate) fn new() -> Self {
+        IdentityHasher {
+            h: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    /// Mix in one named component.
+    pub(crate) fn field(&mut self, tag: &str, value: &str) {
+        for &b in tag.as_bytes() {
+            self.h ^= b as u64;
+            self.h = self.h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.h ^= 0x1f; // unit separator: tag/value boundary
+        self.h = self.h.wrapping_mul(0x0000_0100_0000_01b3);
+        for &b in value.as_bytes() {
+            self.h ^= b as u64;
+            self.h = self.h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.h ^= 0x1e; // record separator: field boundary
+        self.h = self.h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    pub(crate) fn finish(self) -> u64 {
+        self.h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn fingerprint_formats_as_16_hex_digits() {
+        let fp = report_json_fingerprint("{}");
+        assert_eq!(fp.len(), 16);
+        assert!(fp.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn identity_hasher_separates_fields() {
+        let mut a = IdentityHasher::new();
+        a.field("x", "ab");
+        a.field("y", "c");
+        let mut b = IdentityHasher::new();
+        b.field("x", "a");
+        b.field("y", "bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

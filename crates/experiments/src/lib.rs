@@ -22,6 +22,7 @@ mod cache;
 mod config;
 mod dynamic;
 mod figures;
+mod fingerprint;
 mod pool;
 mod runner;
 mod table;
@@ -38,6 +39,7 @@ pub use figures::{
     fig4_throughput_vs_faults, fig5_latency_vs_faults, fig6_fring_traffic, paper_52_layout,
     FigureResult, ANALYSIS_RATE, FULL_LOAD_RATE, RATE_SWEEP,
 };
+pub use fingerprint::{fnv1a, report_fingerprint, report_json_fingerprint};
 pub use pool::WorkerPool;
 pub use runner::{
     parallel_map, parallel_map_with_progress, run_custom, run_single, CustomSpec, RunSpec,

@@ -37,6 +37,26 @@ pub struct RunSpec {
     pub seed: u64,
 }
 
+impl RunSpec {
+    /// The stable identity of the simulation this spec describes when run
+    /// under `cfg` via [`run_single`]: equal *content* (pattern faults by
+    /// value, not `Arc` pointer) hashes equal across processes. It is
+    /// exactly [`CustomSpec::identity`] of the fully expanded spec, so the
+    /// serving layer can dedup a `RunSpec` request against an equivalent
+    /// `CustomSpec` one.
+    pub fn identity(&self, cfg: &ExperimentConfig) -> u64 {
+        CustomSpec {
+            mesh_size: cfg.mesh_size,
+            vc: cfg.vc,
+            sim: cfg.sim.with_seed(self.seed),
+            kind: self.kind,
+            pattern: self.pattern.clone(),
+            workload: Workload::paper_uniform(self.rate),
+        }
+        .identity()
+    }
+}
+
 thread_local! {
     /// The calling thread's reusable simulator (pool workers and the
     /// fan-out caller alike). Built on the first run, rewound with
@@ -108,9 +128,59 @@ pub struct CustomSpec {
     pub workload: Workload,
 }
 
+impl CustomSpec {
+    /// The stable identity of the simulation this spec describes: FNV-1a
+    /// over every input [`run_custom`] consumes, with the fault pattern
+    /// hashed *by value*. Two specs with equal identity produce
+    /// byte-identical reports (the engine is deterministic in its
+    /// inputs), which is what lets the serving layer use this as its
+    /// dedup and result-cache key.
+    pub fn identity(&self) -> u64 {
+        let mut h = crate::fingerprint::IdentityHasher::new();
+        let ser = |v: &dyn erased_ser::ErasedSerialize| v.to_json();
+        h.field("mesh_size", &self.mesh_size.to_string());
+        h.field("vc", &ser(&self.vc));
+        h.field("sim", &ser(&self.sim));
+        h.field("kind", &ser(&self.kind));
+        h.field("workload", &ser(&self.workload));
+        h.field("pattern", &ser(&*self.pattern));
+        h.finish()
+    }
+}
+
+/// Object-safe serialization shim so `identity` can funnel heterogeneous
+/// components through one closure without monomorphizing per call site.
+mod erased_ser {
+    pub trait ErasedSerialize {
+        fn to_json(&self) -> String;
+    }
+
+    impl<T: serde::Serialize> ErasedSerialize for T {
+        fn to_json(&self) -> String {
+            serde_json::to_string(self).expect("spec component serializes")
+        }
+    }
+}
+
 /// Run a fully parameterized simulation, or return the [`ConfigError`]
 /// explaining why the spec's configuration is unrunnable.
 pub fn run_custom(spec: &CustomSpec) -> Result<SimReport, ConfigError> {
+    // Validate the VC budget before building the algorithm:
+    // `build_algorithm` enforces these as asserts, and panicking while
+    // holding the shared context-cache lock below would poison it for
+    // every other run in the process.
+    if spec.vc.total > 32 {
+        return Err(ConfigError::TooManyVcs {
+            requested: spec.vc.total,
+            limit: 32,
+        });
+    }
+    if spec.vc.bc_vcs > spec.vc.total {
+        return Err(ConfigError::BcShareExceedsTotal {
+            total: spec.vc.total,
+            bc_vcs: spec.vc.bc_vcs,
+        });
+    }
     let (ctx, algo) = {
         let mut cache = shared_cache().lock().expect("context cache");
         let ctx = cache.context(spec.mesh_size, &spec.pattern);
@@ -237,6 +307,55 @@ mod tests {
         let items: Vec<u64> = (0..40).collect();
         let out = parallel_map_with_progress(&items, 4, Progress::quiet(), "test", |&x| x * 3);
         assert_eq!(out, (0..40).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spec_identity_is_content_not_pointer() {
+        let mesh = Mesh::square(8);
+        let coords = [wormsim_topology::Coord { x: 3, y: 4 }];
+        let a = Arc::new(FaultPattern::from_faulty_coords(&mesh, coords).unwrap());
+        let b = Arc::new(FaultPattern::from_faulty_coords(&mesh, coords).unwrap());
+        assert!(!Arc::ptr_eq(&a, &b));
+        let spec = |pattern: &Arc<FaultPattern>, seed: u64| CustomSpec {
+            mesh_size: 8,
+            vc: wormsim_routing::VcConfig::paper(),
+            sim: wormsim_engine::SimConfig::quick().with_seed(seed),
+            kind: AlgorithmKind::Duato,
+            pattern: pattern.clone(),
+            workload: Workload::paper_uniform(0.002),
+        };
+        // Distinct Arcs, same content: identical identity (the dedup key
+        // must not depend on which client built the pattern).
+        assert_eq!(spec(&a, 1).identity(), spec(&b, 1).identity());
+        // Any semantic difference changes it.
+        assert_ne!(spec(&a, 1).identity(), spec(&a, 2).identity());
+        let fault_free = Arc::new(FaultPattern::fault_free(&mesh));
+        assert_ne!(spec(&a, 1).identity(), spec(&fault_free, 1).identity());
+        let mut other_kind = spec(&a, 1);
+        other_kind.kind = AlgorithmKind::Xy;
+        assert_ne!(spec(&a, 1).identity(), other_kind.identity());
+    }
+
+    #[test]
+    fn run_spec_identity_matches_expanded_custom_spec() {
+        let cfg = ExperimentConfig::new(Scale::Quick);
+        let mesh = Mesh::square(10);
+        let pattern = Arc::new(FaultPattern::fault_free(&mesh));
+        let spec = RunSpec {
+            kind: AlgorithmKind::Nbc,
+            pattern: pattern.clone(),
+            rate: 0.004,
+            seed: 42,
+        };
+        let custom = CustomSpec {
+            mesh_size: cfg.mesh_size,
+            vc: cfg.vc,
+            sim: cfg.sim.with_seed(42),
+            kind: AlgorithmKind::Nbc,
+            pattern,
+            workload: Workload::paper_uniform(0.004),
+        };
+        assert_eq!(spec.identity(&cfg), custom.identity());
     }
 
     #[test]

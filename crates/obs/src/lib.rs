@@ -17,7 +17,9 @@
 //!   sinks; [`JsonlSink`] streams to any writer; [`ChromeTraceSink`]
 //!   exports `chrome://tracing` / Perfetto documents.
 //! - [`StallDiagnosis`] — wait-for-graph forensics for the watchdog.
-//! - [`Progress`] — quiet/verbose chatter policy for experiment bins.
+//! - [`Progress`] — quiet/verbose chatter policy for experiment bins;
+//!   [`ProgressFrame`] / [`FrameLog`] — machine-readable progress ticks
+//!   for sockets and logs.
 
 mod chrome;
 mod event;
@@ -29,6 +31,6 @@ mod stall;
 pub use chrome::ChromeTraceSink;
 pub use event::{EventKind, TraceEvent};
 pub use jsonl::{parse_jsonl, JsonlSink};
-pub use progress::Progress;
+pub use progress::{parse_frame_log, FrameLog, Progress, ProgressFrame};
 pub use sink::{NullSink, RingSink, Sink, TeeSink, VecSink};
 pub use stall::{Hotspot, StallDiagnosis, StallMessage, WaitEdge};

@@ -5,9 +5,18 @@
 //! suppressed in quiet mode, errors always reach stderr. Result tables
 //! (the artifacts a run exists to produce) should stay on plain
 //! `println!` — [`Progress`] governs *chatter*, not *output*.
+//!
+//! For consumers that are programs rather than people — the serving
+//! layer streaming per-job completion ticks to a client socket, or a
+//! supervisor tailing a progress log — the module also defines
+//! [`ProgressFrame`], a small serializable progress record, and
+//! [`FrameLog`], a JSONL writer for frames in the same
+//! one-complete-document-per-line discipline as
+//! [`JsonlSink`](crate::JsonlSink).
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::io::{self, BufWriter, Write};
 
 /// A copyable handle deciding whether informational chatter is printed.
 ///
@@ -62,9 +71,135 @@ impl Progress {
     }
 }
 
+/// One machine-readable progress tick: `done` of `total` work items of
+/// the job identified by `label` are complete. The serving layer streams
+/// these to clients as per-job progress frames; [`FrameLog`] writes them
+/// as JSONL for offline consumers.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgressFrame {
+    /// What is progressing (a job id, an experiment label, ...).
+    pub label: String,
+    /// Work items completed so far.
+    pub done: u64,
+    /// Total work items in the job.
+    pub total: u64,
+}
+
+impl ProgressFrame {
+    /// A frame reporting `done`/`total` for `label`.
+    pub fn new(label: impl Into<String>, done: u64, total: u64) -> Self {
+        ProgressFrame {
+            label: label.into(),
+            done,
+            total,
+        }
+    }
+
+    /// Whether this frame marks the job complete.
+    pub fn is_final(&self) -> bool {
+        self.done >= self.total
+    }
+}
+
+/// Streams [`ProgressFrame`]s as JSONL (one compact document per line),
+/// with the same latched-error discipline as
+/// [`JsonlSink`](crate::JsonlSink): `record` never fails loudly, the
+/// first I/O error is kept and reported by [`FrameLog::finish`].
+pub struct FrameLog<W: Write> {
+    w: BufWriter<W>,
+    written: u64,
+    err: Option<io::Error>,
+}
+
+impl<W: Write> FrameLog<W> {
+    /// Wrap a writer (buffering is handled internally).
+    pub fn new(writer: W) -> Self {
+        FrameLog {
+            w: BufWriter::new(writer),
+            written: 0,
+            err: None,
+        }
+    }
+
+    /// Write one frame as a JSON line (dropped if an error is latched).
+    pub fn record(&mut self, frame: &ProgressFrame) {
+        if self.err.is_some() {
+            return;
+        }
+        let line = serde_json::to_string(frame);
+        let res = line
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+            .and_then(|l| {
+                self.w.write_all(l.as_bytes())?;
+                self.w.write_all(b"\n")
+            });
+        match res {
+            Ok(()) => self.written += 1,
+            Err(e) => self.err = Some(e),
+        }
+    }
+
+    /// Frames successfully written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flush and return the inner writer, or the first latched error.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.err.take() {
+            return Err(e);
+        }
+        self.w.flush()?;
+        self.w
+            .into_inner()
+            .map_err(|e| io::Error::other(e.to_string()))
+    }
+}
+
+/// Parse a frame log back into frames (empty lines skipped; the 1-based
+/// line number accompanies any parse error).
+pub fn parse_frame_log(text: &str) -> Result<Vec<ProgressFrame>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f: ProgressFrame =
+            serde_json::from_str(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        out.push(f);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn frame_log_round_trips() {
+        let frames = vec![
+            ProgressFrame::new("job-1", 0, 3),
+            ProgressFrame::new("job-1", 2, 3),
+            ProgressFrame::new("job-1", 3, 3),
+        ];
+        let mut log = FrameLog::new(Vec::new());
+        for f in &frames {
+            log.record(f);
+        }
+        assert_eq!(log.written(), 3);
+        let text = String::from_utf8(log.finish().unwrap()).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        let back = parse_frame_log(&text).unwrap();
+        assert_eq!(back, frames);
+        assert!(!back[1].is_final());
+        assert!(back[2].is_final());
+    }
+
+    #[test]
+    fn frame_log_parse_reports_bad_line() {
+        let err = parse_frame_log("{\"label\":").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+    }
 
     #[test]
     fn default_is_quiet() {

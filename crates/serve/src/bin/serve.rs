@@ -1,0 +1,100 @@
+//! The long-running simulation server.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--threads N] [--max-queue N]
+//!       [--quota N] [--cache-cap N] [--quiet]
+//! ```
+//!
+//! Binds the address (default `127.0.0.1:7420`; port `0` lets the OS
+//! pick), prints one `listening on <addr>` line to stdout so scripts can
+//! scrape the port, and serves until a client sends a `Shutdown` frame —
+//! then drains every admitted request, joins the worker pool, and prints
+//! the final counters as one JSON line.
+
+use std::process::ExitCode;
+use wormsim_obs::Progress;
+use wormsim_serve::{SchedulerConfig, Server, ServerConfig};
+
+struct Args {
+    addr: String,
+    scheduler: SchedulerConfig,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7420".into(),
+        scheduler: SchedulerConfig::default(),
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--threads" => {
+                args.scheduler.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--max-queue" => {
+                args.scheduler.max_queue = value("--max-queue")?
+                    .parse()
+                    .map_err(|e| format!("--max-queue: {e}"))?
+            }
+            "--quota" => {
+                args.scheduler.per_client_quota = value("--quota")?
+                    .parse()
+                    .map_err(|e| format!("--quota: {e}"))?
+            }
+            "--cache-cap" => {
+                args.scheduler.cache_capacity = value("--cache-cap")?
+                    .parse()
+                    .map_err(|e| format!("--cache-cap: {e}"))?
+            }
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: serve [--addr HOST:PORT] [--threads N] [--max-queue N] \
+                     [--quota N] [--cache-cap N] [--quiet]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let progress = Progress::from_quiet_flag(args.quiet);
+    let server = match Server::start(ServerConfig {
+        addr: args.addr,
+        scheduler: args.scheduler,
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The listening line is output, not chatter: scripts scrape it for
+    // the resolved port, so it prints regardless of --quiet.
+    println!("listening on {}", server.local_addr());
+    progress.out(format_args!(
+        "serving; send a Shutdown frame (loadgen --shutdown) to stop"
+    ));
+    let stats = server.run_until_shutdown();
+    match serde_json::to_string(&stats) {
+        Ok(json) => println!("{json}"),
+        Err(e) => eprintln!("serve: stats serialization failed: {e}"),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,46 @@
+//! # wormsim-serve
+//!
+//! The simulator as a long-running service. A `serve` process binds a
+//! TCP port, accepts length-prefixed JSON frames (see [`protocol`]), and
+//! schedules simulation requests onto a persistent worker pool whose
+//! threads reuse parked simulators between runs — the same warm path the
+//! batch harness uses, kept hot across thousands of requests.
+//!
+//! What the service guarantees:
+//!
+//! - **Determinism on the wire.** A request's result is the byte-exact
+//!   compact JSON of the `SimReport` that a direct
+//!   [`wormsim_experiments::run_custom`] call for the same spec would
+//!   produce, plus its FNV-1a fingerprint. The soak harness hammers this
+//!   invariant under heavy concurrency.
+//! - **Work sharing.** Identical concurrent requests are deduplicated
+//!   (joiners attach to the running job); identical later requests hit a
+//!   bounded LRU result cache whose entries are integrity-checked
+//!   against their fingerprints before being served.
+//! - **Typed overload behavior.** Per-client quotas and a queue-depth
+//!   bound reject with machine-readable error frames (`quota`,
+//!   `backpressure`) instead of hanging; malformed specs and
+//!   engine-rejected configurations come back as `bad_spec` / `config`.
+//! - **Graceful drain.** Shutdown answers every admitted request, then
+//!   joins the worker pool's threads.
+//!
+//! Crate layout: [`protocol`] (framing + wire vocabulary), [`intern`]
+//! (fault-pattern interning so wire requests share routing contexts),
+//! [`scheduler`] (dedup, cache, quotas, dispatcher), [`server`] (TCP
+//! plumbing), [`client`] (blocking client used by `loadgen`, the soak
+//! test, and scripts).
+
+pub mod client;
+pub mod intern;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+
+pub use client::{Client, ClientError, RunOutcome, SweepOutcome};
+pub use intern::PatternInterner;
+pub use protocol::{
+    algorithm_from_name, read_frame, read_frame_with, write_frame, Request, Response, ServerStats,
+    SpecError, WireSpec, MAX_FRAME_LEN,
+};
+pub use scheduler::{Scheduler, SchedulerConfig};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,882 @@
+//! Dedup/caching job scheduler over the persistent worker pool.
+//!
+//! Every Run/Sweep request decomposes into per-spec *jobs* keyed by
+//! [`CustomSpec::identity`] (content hash, pattern by value). At submit
+//! time each job is classified:
+//!
+//! - **cache hit** — a completed result with this identity is in the
+//!   bounded LRU; its stored fingerprint is re-verified against the
+//!   cached bytes and the result is delivered without simulating.
+//! - **dedup join** — an identical job is already queued or running;
+//!   the request attaches as a waiter and shares the one execution.
+//! - **new** — the job enters the queue for the dispatcher.
+//!
+//! The dispatcher thread drains the queue in batches onto a scheduler-
+//! owned [`WorkerPool`], whose threads park reusable simulators in their
+//! thread-locals — the same zero-alloc warm path the sweep harness uses.
+//! Admission control happens before any of this: a client past its
+//! in-flight request quota gets `code: "quota"`, and a full job queue
+//! gets `code: "backpressure"`; both are typed rejections, never hangs.
+//!
+//! Shutdown is a drain: pending jobs finish, their waiters are answered,
+//! then the pool's workers are joined. Submissions racing the shutdown
+//! get `code: "shutting_down"`.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread;
+use wormsim_engine::ConfigError;
+use wormsim_experiments::{report_json_fingerprint, run_custom, CustomSpec, WorkerPool};
+use wormsim_obs::ProgressFrame;
+
+use crate::protocol::{Emit, Response, ServerStats};
+
+/// Scheduler knobs; [`SchedulerConfig::default`] suits tests and small
+/// deployments.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedulerConfig {
+    /// Worker-pool enrollment per batch (0 = available parallelism).
+    pub threads: usize,
+    /// Jobs queued-or-running before new requests are rejected with
+    /// `backpressure`.
+    pub max_queue: usize,
+    /// In-flight Run/Sweep requests per client before `quota` rejects.
+    pub per_client_quota: usize,
+    /// Bounded LRU result-cache entries.
+    pub cache_capacity: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            threads: 0,
+            max_queue: 4096,
+            per_client_quota: 256,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            thread::available_parallelism().map_or(4, |n| n.get())
+        }
+    }
+}
+
+/// What one finished job hands each of its waiters.
+#[derive(Clone)]
+enum SlotResult {
+    Ok {
+        report_json: Arc<String>,
+        fingerprint: String,
+        cached: bool,
+        deduped: bool,
+    },
+    Failed,
+}
+
+/// One client request (Run or Sweep) being assembled from its job slots.
+struct RequestState {
+    id: u64,
+    client: u64,
+    is_sweep: bool,
+    emit: Emit,
+    inner: Mutex<RequestProgress>,
+}
+
+struct RequestProgress {
+    slots: Vec<Option<SlotResult>>,
+    remaining: usize,
+    /// First failure wins; the whole request is answered with it.
+    failure: Option<(String, String)>,
+}
+
+/// A waiter on a job: which request, and which of its slots.
+type Waiter = (Arc<RequestState>, usize);
+
+struct JobEntry {
+    waiters: Vec<Waiter>,
+}
+
+struct QueuedJob {
+    identity: u64,
+    spec: CustomSpec,
+}
+
+struct CacheEntry {
+    report_json: Arc<String>,
+    fingerprint: String,
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct SchedState {
+    queue: VecDeque<QueuedJob>,
+    /// Queued or running jobs by identity; waiters share the execution.
+    jobs: HashMap<u64, JobEntry>,
+    /// Jobs admitted but not yet resolved (queue + running batch).
+    pending_jobs: usize,
+    cache: HashMap<u64, CacheEntry>,
+    /// Lazy-LRU order: `(identity, stamp)`; stale stamps are skipped.
+    cache_order: VecDeque<(u64, u64)>,
+    cache_stamp: u64,
+    client_load: HashMap<u64, usize>,
+    stop: bool,
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    completed: AtomicU64,
+    jobs_run: AtomicU64,
+    cache_hits: AtomicU64,
+    dedup_joins: AtomicU64,
+    quota_rejects: AtomicU64,
+    backpressure_rejects: AtomicU64,
+    bad_spec_rejects: AtomicU64,
+    config_rejects: AtomicU64,
+    internal_errors: AtomicU64,
+    integrity_drops: AtomicU64,
+}
+
+struct Inner {
+    cfg: SchedulerConfig,
+    state: Mutex<SchedState>,
+    work_ready: Condvar,
+    counters: Counters,
+    pool: WorkerPool,
+}
+
+/// The scheduler: owns its dispatcher thread and worker pool. See the
+/// module docs for the job lifecycle.
+pub struct Scheduler {
+    inner: Arc<Inner>,
+    dispatcher: Mutex<Option<thread::JoinHandle<()>>>,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Scheduler {
+    /// Start a scheduler (and its dispatcher thread) with `cfg`.
+    pub fn new(cfg: SchedulerConfig) -> Self {
+        let inner = Arc::new(Inner {
+            cfg,
+            state: Mutex::new(SchedState::default()),
+            work_ready: Condvar::new(),
+            counters: Counters::default(),
+            pool: WorkerPool::new(),
+        });
+        let dispatcher = {
+            let inner = inner.clone();
+            thread::Builder::new()
+                .name("wsim-dispatch".into())
+                .spawn(move || inner.dispatcher_loop())
+                .expect("spawn dispatcher")
+        };
+        Scheduler {
+            inner,
+            dispatcher: Mutex::new(Some(dispatcher)),
+        }
+    }
+
+    /// Submit one request. On `Ok`, every response (progress frames and
+    /// the final result/error) arrives through `emit`, possibly before
+    /// this call returns (pure cache hits resolve synchronously). On
+    /// `Err`, nothing was scheduled and the caller owns the reply.
+    pub fn submit(
+        &self,
+        client: u64,
+        id: u64,
+        specs: Vec<CustomSpec>,
+        is_sweep: bool,
+        emit: Emit,
+    ) -> Result<(), (&'static str, String)> {
+        let inner = &self.inner;
+        if specs.is_empty() {
+            return Err(("bad_spec", "empty spec list".into()));
+        }
+        // Identities involve serializing the specs — do it outside the lock.
+        let identities: Vec<u64> = specs.iter().map(|s| s.identity()).collect();
+        let req = Arc::new(RequestState {
+            id,
+            client,
+            is_sweep,
+            emit,
+            inner: Mutex::new(RequestProgress {
+                slots: vec![None; specs.len()],
+                remaining: specs.len(),
+                failure: None,
+            }),
+        });
+
+        enum Plan {
+            CacheHit(SlotResult),
+            Join,
+            New,
+        }
+
+        let mut immediate: Vec<(usize, SlotResult)> = Vec::new();
+        {
+            let mut s = lock(&inner.state);
+            if s.stop {
+                return Err(("shutting_down", "server is draining".into()));
+            }
+            let load = s.client_load.get(&client).copied().unwrap_or(0);
+            if load >= inner.cfg.per_client_quota {
+                inner.counters.quota_rejects.fetch_add(1, Ordering::Relaxed);
+                return Err((
+                    "quota",
+                    format!(
+                        "client has {load} requests in flight (quota {})",
+                        inner.cfg.per_client_quota
+                    ),
+                ));
+            }
+            // Classify each slot without mutating, so a backpressure
+            // rejection leaves no trace. Duplicates *within* the request
+            // join the slot that will create the job.
+            let mut plans: Vec<Plan> = Vec::with_capacity(specs.len());
+            let mut claimed: std::collections::HashSet<u64> = std::collections::HashSet::new();
+            let mut new_jobs = 0usize;
+            for ident in &identities {
+                let verified = s
+                    .cache
+                    .get(ident)
+                    .map(|entry| entry.fingerprint == report_json_fingerprint(&entry.report_json));
+                let plan = match verified {
+                    Some(true) => {
+                        let entry = &s.cache[ident];
+                        Plan::CacheHit(SlotResult::Ok {
+                            report_json: entry.report_json.clone(),
+                            fingerprint: entry.fingerprint.clone(),
+                            cached: true,
+                            deduped: false,
+                        })
+                    }
+                    Some(false) => {
+                        // Integrity recheck failed: drop the entry and
+                        // recompute as if it were never cached.
+                        s.cache.remove(ident);
+                        inner
+                            .counters
+                            .integrity_drops
+                            .fetch_add(1, Ordering::Relaxed);
+                        if s.jobs.contains_key(ident) || !claimed.insert(*ident) {
+                            Plan::Join
+                        } else {
+                            new_jobs += 1;
+                            Plan::New
+                        }
+                    }
+                    None => {
+                        if s.jobs.contains_key(ident) || !claimed.insert(*ident) {
+                            Plan::Join
+                        } else {
+                            new_jobs += 1;
+                            Plan::New
+                        }
+                    }
+                };
+                plans.push(plan);
+            }
+            if new_jobs > 0 && s.pending_jobs + new_jobs > inner.cfg.max_queue {
+                inner
+                    .counters
+                    .backpressure_rejects
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err((
+                    "backpressure",
+                    format!(
+                        "{} jobs in flight + {new_jobs} new exceeds queue bound {}",
+                        s.pending_jobs, inner.cfg.max_queue
+                    ),
+                ));
+            }
+            // Admitted: apply the plan. Plans were built in slot order, so
+            // the enumeration index *is* the request slot.
+            inner.counters.requests.fetch_add(1, Ordering::Relaxed);
+            *s.client_load.entry(client).or_insert(0) += 1;
+            let mut touched: Vec<u64> = Vec::new();
+            for (slot, ((plan, ident), spec)) in
+                plans.into_iter().zip(&identities).zip(specs).enumerate()
+            {
+                match plan {
+                    Plan::CacheHit(result) => {
+                        inner.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        touched.push(*ident);
+                        immediate.push((slot, result));
+                    }
+                    Plan::Join => {
+                        inner.counters.dedup_joins.fetch_add(1, Ordering::Relaxed);
+                        s.jobs
+                            .get_mut(ident)
+                            .expect("joined job exists")
+                            .waiters
+                            .push((req.clone(), slot));
+                    }
+                    Plan::New => {
+                        s.jobs.insert(
+                            *ident,
+                            JobEntry {
+                                waiters: vec![(req.clone(), slot)],
+                            },
+                        );
+                        s.queue.push_back(QueuedJob {
+                            identity: *ident,
+                            spec,
+                        });
+                        s.pending_jobs += 1;
+                    }
+                }
+            }
+            for ident in touched {
+                touch_cache(&mut s, ident);
+            }
+            inner.work_ready.notify_one();
+        }
+        for (slot, result) in immediate {
+            inner.fill_slot(&req, slot, result, None);
+        }
+        Ok(())
+    }
+
+    /// Count a malformed spec rejected before scheduling (the server's
+    /// protocol layer calls this so the stat lives with the others).
+    pub fn note_bad_spec(&self) {
+        self.inner
+            .counters
+            .bad_spec_rejects
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> ServerStats {
+        self.inner.stats()
+    }
+
+    /// Drain the queue (answering every waiter), stop the dispatcher, and
+    /// join the worker pool's threads. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut s = lock(&self.inner.state);
+            s.stop = true;
+        }
+        self.inner.work_ready.notify_all();
+        if let Some(h) = lock(&self.dispatcher).take() {
+            let _ = h.join();
+        }
+        self.inner.pool.shutdown();
+    }
+
+    /// The pool's thread-name prefix (tests assert worker teardown).
+    pub fn pool_thread_prefix(&self) -> String {
+        self.inner.pool.thread_name_prefix().to_string()
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Mark `identity` most-recently-used (lazy LRU: push a fresh stamp,
+/// stale queue entries are skipped at eviction time).
+fn touch_cache(s: &mut SchedState, identity: u64) {
+    s.cache_stamp += 1;
+    let stamp = s.cache_stamp;
+    if let Some(e) = s.cache.get_mut(&identity) {
+        e.stamp = stamp;
+        s.cache_order.push_back((identity, stamp));
+    }
+}
+
+impl Inner {
+    fn stats(&self) -> ServerStats {
+        let (cached_results, in_flight) = {
+            let s = lock(&self.state);
+            (s.cache.len() as u64, s.pending_jobs as u64)
+        };
+        let c = &self.counters;
+        ServerStats {
+            requests: c.requests.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            jobs_run: c.jobs_run.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            dedup_joins: c.dedup_joins.load(Ordering::Relaxed),
+            quota_rejects: c.quota_rejects.load(Ordering::Relaxed),
+            backpressure_rejects: c.backpressure_rejects.load(Ordering::Relaxed),
+            bad_spec_rejects: c.bad_spec_rejects.load(Ordering::Relaxed),
+            config_rejects: c.config_rejects.load(Ordering::Relaxed),
+            internal_errors: c.internal_errors.load(Ordering::Relaxed),
+            integrity_drops: c.integrity_drops.load(Ordering::Relaxed),
+            cached_results,
+            in_flight,
+        }
+    }
+
+    /// Fill one slot of a request; when it is the last, finalize and emit.
+    fn fill_slot(
+        self: &Arc<Self>,
+        req: &Arc<RequestState>,
+        slot: usize,
+        result: SlotResult,
+        failure: Option<(String, String)>,
+    ) {
+        let finished = {
+            let mut p = lock(&req.inner);
+            if p.slots[slot].is_some() {
+                return; // already resolved (defensive; should not happen)
+            }
+            p.slots[slot] = Some(result);
+            if let Some(f) = failure {
+                if p.failure.is_none() {
+                    p.failure = Some(f);
+                }
+            }
+            p.remaining -= 1;
+            if req.is_sweep {
+                let total = p.slots.len() as u64;
+                let done = total - p.remaining as u64;
+                (req.emit)(Response::Progress {
+                    id: req.id,
+                    frame: ProgressFrame::new(format!("sweep-{}", req.id), done, total),
+                });
+            }
+            p.remaining == 0
+        };
+        if finished {
+            self.finalize(req);
+        }
+    }
+
+    fn finalize(self: &Arc<Self>, req: &Arc<RequestState>) {
+        let response = {
+            let p = lock(&req.inner);
+            if let Some((code, message)) = &p.failure {
+                Response::Error {
+                    id: req.id,
+                    code: code.clone(),
+                    message: message.clone(),
+                }
+            } else if req.is_sweep {
+                let mut report_jsons = Vec::with_capacity(p.slots.len());
+                let mut fingerprints = Vec::with_capacity(p.slots.len());
+                for slot in &p.slots {
+                    match slot.as_ref().expect("finalized request has all slots") {
+                        SlotResult::Ok {
+                            report_json,
+                            fingerprint,
+                            ..
+                        } => {
+                            report_jsons.push((**report_json).clone());
+                            fingerprints.push(fingerprint.clone());
+                        }
+                        SlotResult::Failed => unreachable!("failed slot without failure record"),
+                    }
+                }
+                Response::SweepResult {
+                    id: req.id,
+                    report_jsons,
+                    fingerprints,
+                }
+            } else {
+                match p.slots[0].as_ref().expect("finalized request has slot 0") {
+                    SlotResult::Ok {
+                        report_json,
+                        fingerprint,
+                        cached,
+                        deduped,
+                    } => Response::Result {
+                        id: req.id,
+                        report_json: (**report_json).clone(),
+                        fingerprint: fingerprint.clone(),
+                        cached: *cached,
+                        deduped: *deduped,
+                    },
+                    SlotResult::Failed => unreachable!("failed slot without failure record"),
+                }
+            }
+        };
+        (req.emit)(response);
+        {
+            let mut s = lock(&self.state);
+            if let Some(load) = s.client_load.get_mut(&req.client) {
+                *load = load.saturating_sub(1);
+                if *load == 0 {
+                    s.client_load.remove(&req.client);
+                }
+            }
+        }
+        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Resolve one executed job: cache the result, detach the waiters,
+    /// and fill their slots.
+    fn resolve_job(
+        self: &Arc<Self>,
+        identity: u64,
+        outcome: Result<(Arc<String>, String), JobError>,
+    ) {
+        self.counters.jobs_run.fetch_add(1, Ordering::Relaxed);
+        let waiters = {
+            let mut s = lock(&self.state);
+            s.pending_jobs = s.pending_jobs.saturating_sub(1);
+            if let Ok((json, fp)) = &outcome {
+                cache_insert(
+                    &mut s,
+                    self.cfg.cache_capacity,
+                    identity,
+                    json.clone(),
+                    fp.clone(),
+                );
+            }
+            s.jobs
+                .remove(&identity)
+                .map(|e| e.waiters)
+                .unwrap_or_default()
+        };
+        match outcome {
+            Ok((json, fp)) => {
+                for (k, (req, slot)) in waiters.into_iter().enumerate() {
+                    self.fill_slot(
+                        &req,
+                        slot,
+                        SlotResult::Ok {
+                            report_json: json.clone(),
+                            fingerprint: fp.clone(),
+                            cached: false,
+                            // The first waiter is the submitter that
+                            // created the job; the rest joined it.
+                            deduped: k > 0,
+                        },
+                        None,
+                    );
+                }
+            }
+            Err(err) => {
+                let (code, message) = err.wire();
+                match err {
+                    JobError::Config(_) => {
+                        self.counters.config_rejects.fetch_add(1, Ordering::Relaxed)
+                    }
+                    JobError::Panicked => self
+                        .counters
+                        .internal_errors
+                        .fetch_add(1, Ordering::Relaxed),
+                };
+                for (req, slot) in waiters {
+                    self.fill_slot(
+                        &req,
+                        slot,
+                        SlotResult::Failed,
+                        Some((code.to_string(), message.clone())),
+                    );
+                }
+            }
+        }
+    }
+
+    fn dispatcher_loop(self: Arc<Self>) {
+        let threads = self.cfg.resolved_threads();
+        loop {
+            let batch: Vec<QueuedJob> = {
+                let mut s = lock(&self.state);
+                loop {
+                    if !s.queue.is_empty() {
+                        break;
+                    }
+                    if s.stop {
+                        return;
+                    }
+                    s = self.work_ready.wait(s).unwrap_or_else(|e| e.into_inner());
+                }
+                // Micro-batch: enough to saturate the pool without letting
+                // one huge sweep starve late-arriving small requests.
+                let n = s.queue.len().min(threads * 4);
+                s.queue.drain(..n).collect()
+            };
+            let done: Vec<AtomicBool> = batch.iter().map(|_| AtomicBool::new(false)).collect();
+            let task = |i: usize| {
+                let job = &batch[i];
+                let outcome = match run_custom(&job.spec) {
+                    Ok(report) => {
+                        let json = serde_json::to_string(&report).expect("report serializes");
+                        let fp = report_json_fingerprint(&json);
+                        Ok((Arc::new(json), fp))
+                    }
+                    Err(e) => Err(JobError::Config(e)),
+                };
+                self.resolve_job(job.identity, outcome);
+                done[i].store(true, Ordering::Release);
+            };
+            if let Err((_claimed, _payload)) = self.pool.run(threads, batch.len(), &task) {
+                // A worker panicked. The pool already contained it; answer
+                // every job the batch did not get to so no waiter hangs.
+                for (i, job) in batch.iter().enumerate() {
+                    if !done[i].load(Ordering::Acquire) {
+                        self.resolve_job(job.identity, Err(JobError::Panicked));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Why an admitted job failed.
+enum JobError {
+    /// The engine rejected the configuration (typed, expected path).
+    Config(ConfigError),
+    /// The simulation panicked (a bug; the request gets `internal`).
+    Panicked,
+}
+
+impl JobError {
+    fn wire(&self) -> (&'static str, String) {
+        match self {
+            JobError::Config(e) => ("config", e.to_string()),
+            JobError::Panicked => ("internal", "simulation worker panicked".into()),
+        }
+    }
+}
+
+/// Insert into the bounded LRU, evicting least-recently-used entries
+/// (skipping stale order records) until under capacity.
+fn cache_insert(
+    s: &mut SchedState,
+    cap: usize,
+    identity: u64,
+    report_json: Arc<String>,
+    fingerprint: String,
+) {
+    if cap == 0 {
+        return;
+    }
+    while s.cache.len() >= cap {
+        match s.cache_order.pop_front() {
+            Some((ident, stamp)) => {
+                let current = s.cache.get(&ident).map(|e| e.stamp);
+                if current == Some(stamp) {
+                    s.cache.remove(&ident);
+                }
+            }
+            None => break,
+        }
+    }
+    s.cache_stamp += 1;
+    let stamp = s.cache_stamp;
+    s.cache.insert(
+        identity,
+        CacheEntry {
+            report_json,
+            fingerprint,
+            stamp,
+        },
+    );
+    s.cache_order.push_back((identity, stamp));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+    use wormsim_engine::SimConfig;
+    use wormsim_routing::{AlgorithmKind, VcConfig};
+    use wormsim_traffic::Workload;
+
+    fn tiny_spec(seed: u64) -> CustomSpec {
+        let interner = crate::intern::PatternInterner::default();
+        let pattern = interner.intern(6, &[]).unwrap();
+        let mut sim = SimConfig::quick().with_seed(seed);
+        sim.warmup_cycles = 100;
+        sim.measure_cycles = 300;
+        CustomSpec {
+            mesh_size: 6,
+            vc: VcConfig::paper(),
+            sim,
+            kind: AlgorithmKind::Xy,
+            pattern,
+            workload: Workload::paper_uniform(0.002),
+        }
+    }
+
+    fn collect_emit() -> (Emit, Arc<Mutex<Vec<Response>>>) {
+        let sink: Arc<Mutex<Vec<Response>>> = Arc::new(Mutex::new(Vec::new()));
+        let s = sink.clone();
+        (Arc::new(move |r| lock(&s).push(r)), sink)
+    }
+
+    fn wait_for<F: Fn() -> bool>(cond: F, what: &str) {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !cond() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn run_then_cache_hit_then_config_error() {
+        let sched = Scheduler::new(SchedulerConfig::default());
+        let (emit, sink) = collect_emit();
+        sched
+            .submit(1, 10, vec![tiny_spec(1)], false, emit.clone())
+            .unwrap();
+        wait_for(|| !lock(&sink).is_empty(), "first result");
+        let first = lock(&sink).remove(0);
+        let fp = match &first {
+            Response::Result {
+                id,
+                cached,
+                fingerprint,
+                ..
+            } => {
+                assert_eq!(*id, 10);
+                assert!(!cached);
+                fingerprint.clone()
+            }
+            other => panic!("expected Result, got {other:?}"),
+        };
+        // Same identity again: answered from cache, same fingerprint.
+        sched
+            .submit(1, 11, vec![tiny_spec(1)], false, emit.clone())
+            .unwrap();
+        wait_for(|| !lock(&sink).is_empty(), "cached result");
+        match lock(&sink).remove(0) {
+            Response::Result {
+                cached,
+                fingerprint,
+                ..
+            } => {
+                assert!(cached);
+                assert_eq!(fingerprint, fp);
+            }
+            other => panic!("expected cached Result, got {other:?}"),
+        }
+        // An engine-rejected spec comes back as a typed config error.
+        let mut bad = tiny_spec(2);
+        bad.sim.shards = 0;
+        sched.submit(1, 12, vec![bad], false, emit).unwrap();
+        wait_for(|| !lock(&sink).is_empty(), "config error");
+        match lock(&sink).remove(0) {
+            Response::Error { id, code, .. } => {
+                assert_eq!(id, 12);
+                assert_eq!(code, "config");
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+        let stats = sched.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.config_rejects, 1);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn sweep_streams_progress_and_dedups_intra_request() {
+        let sched = Scheduler::new(SchedulerConfig::default());
+        let (emit, sink) = collect_emit();
+        // Slot 2 duplicates slot 0: one execution, two slots.
+        let specs = vec![tiny_spec(5), tiny_spec(6), tiny_spec(5)];
+        sched.submit(2, 30, specs, true, emit).unwrap();
+        wait_for(
+            || {
+                lock(&sink)
+                    .iter()
+                    .any(|r| matches!(r, Response::SweepResult { .. }))
+            },
+            "sweep result",
+        );
+        let frames = lock(&sink);
+        let progress: Vec<_> = frames
+            .iter()
+            .filter_map(|r| match r {
+                Response::Progress { frame, .. } => Some((frame.done, frame.total)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(progress.len(), 3);
+        assert!(progress.iter().all(|&(_, t)| t == 3));
+        assert_eq!(progress.last(), Some(&(3, 3)));
+        match frames.last().unwrap() {
+            Response::SweepResult {
+                report_jsons,
+                fingerprints,
+                ..
+            } => {
+                assert_eq!(report_jsons.len(), 3);
+                assert_eq!(report_jsons[0], report_jsons[2], "dup slots share a result");
+                assert_eq!(fingerprints[0], fingerprints[2]);
+                assert_ne!(report_jsons[0], report_jsons[1]);
+            }
+            other => panic!("expected SweepResult last, got {other:?}"),
+        }
+        drop(frames);
+        let stats = sched.stats();
+        assert!(stats.dedup_joins >= 1, "intra-sweep duplicate joins");
+        assert_eq!(stats.jobs_run, 2, "two unique specs, two executions");
+        sched.shutdown();
+    }
+
+    #[test]
+    fn quota_and_backpressure_reject_typed() {
+        // Quota of one: a second concurrent request from the same client
+        // is rejected while the first is still unresolved. Use a queue the
+        // dispatcher cannot drain instantly.
+        let sched = Scheduler::new(SchedulerConfig {
+            threads: 1,
+            max_queue: 2,
+            per_client_quota: 1,
+            cache_capacity: 16,
+        });
+        let (emit, sink) = collect_emit();
+        let mut slow = tiny_spec(100);
+        slow.sim.measure_cycles = 20_000;
+        sched.submit(7, 1, vec![slow], false, emit.clone()).unwrap();
+        let err = sched
+            .submit(7, 2, vec![tiny_spec(101)], false, emit.clone())
+            .unwrap_err();
+        assert_eq!(err.0, "quota");
+        // A different client is admitted until the queue bound trips.
+        let mut slow2 = tiny_spec(102);
+        slow2.sim.measure_cycles = 20_000;
+        sched
+            .submit(8, 3, vec![slow2], false, emit.clone())
+            .unwrap();
+        let err = sched
+            .submit(9, 4, vec![tiny_spec(103), tiny_spec(104)], false, emit)
+            .unwrap_err();
+        assert_eq!(err.0, "backpressure");
+        let stats = sched.stats();
+        assert_eq!(stats.quota_rejects, 1);
+        assert_eq!(stats.backpressure_rejects, 1);
+        // Shutdown drains: both admitted requests still get answers.
+        sched.shutdown();
+        let responses = lock(&sink);
+        let results = responses
+            .iter()
+            .filter(|r| matches!(r, Response::Result { .. }))
+            .count();
+        assert_eq!(results, 2, "drain answered every admitted request");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut s = SchedState::default();
+        for i in 0..3u64 {
+            cache_insert(&mut s, 3, i, Arc::new(format!("r{i}")), format!("f{i}"));
+        }
+        // Touch 0 so 1 becomes the LRU entry.
+        touch_cache(&mut s, 0);
+        cache_insert(&mut s, 3, 9, Arc::new("r9".into()), "f9".into());
+        assert!(s.cache.contains_key(&0), "touched entry survives");
+        assert!(!s.cache.contains_key(&1), "LRU entry evicted");
+        assert!(s.cache.contains_key(&2));
+        assert!(s.cache.contains_key(&9));
+    }
+}
