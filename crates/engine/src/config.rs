@@ -23,6 +23,26 @@ pub enum ConfigError {
         /// VCs the Boppana–Chalasani overlay reserves.
         bc_vcs: u8,
     },
+    /// The BC overlay's reserved share is below the 4 VCs the scheme
+    /// needs (one per message type).
+    BcShareTooSmall {
+        /// VCs the spec reserves for the overlay.
+        bc_vcs: u8,
+        /// The overlay's fixed requirement (4).
+        required: u8,
+    },
+    /// The algorithm cannot be built within the spec's total VC budget
+    /// on its mesh (every constructor asserts a minimum; see
+    /// `wormsim_routing::min_total_vcs`).
+    InsufficientVcs {
+        /// The algorithm's paper name.
+        algorithm: &'static str,
+        /// Minimum total VCs (base discipline + BC overlay) it needs on
+        /// the spec's mesh.
+        required: u8,
+        /// Total VCs the spec provides.
+        total: u8,
+    },
     /// `SimConfig.shards` is zero; the engine needs at least one shard
     /// (1 = the sequential path).
     ZeroShards,
@@ -39,6 +59,20 @@ impl fmt::Display for ConfigError {
             ConfigError::BcShareExceedsTotal { total, bc_vcs } => write!(
                 f,
                 "BC overlay reserves {bc_vcs} virtual channels but only {total} exist"
+            ),
+            ConfigError::BcShareTooSmall { bc_vcs, required } => write!(
+                f,
+                "BC overlay reserves {bc_vcs} virtual channels but the scheme \
+                 needs {required} (one per message type)"
+            ),
+            ConfigError::InsufficientVcs {
+                algorithm,
+                required,
+                total,
+            } => write!(
+                f,
+                "{algorithm} needs at least {required} virtual channels on this \
+                 mesh but the spec provides {total}"
             ),
             ConfigError::ZeroShards => {
                 write!(f, "SimConfig.shards must be >= 1 (1 = sequential path)")
@@ -244,6 +278,18 @@ mod tests {
         assert!(e.to_string().contains("40"));
         assert!(e.to_string().contains("32"));
         assert!(ConfigError::ZeroShards.to_string().contains("shards"));
+        let e = ConfigError::InsufficientVcs {
+            algorithm: "Duato's routing",
+            required: 7,
+            total: 6,
+        };
+        assert!(e.to_string().contains("Duato's routing"));
+        assert!(e.to_string().contains('7') && e.to_string().contains('6'));
+        let e = ConfigError::BcShareTooSmall {
+            bc_vcs: 2,
+            required: 4,
+        };
+        assert!(e.to_string().contains('2') && e.to_string().contains('4'));
     }
 
     #[test]

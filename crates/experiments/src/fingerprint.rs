@@ -8,12 +8,13 @@
 //!   `bench_engine --check` pins it against a committed baseline, and the
 //!   result cache in `wormsim-serve` stores it alongside each cached
 //!   report as an integrity check.
-//! - a **spec identity** — FNV-1a over the *semantic content* of a
+//! - a **spec identity** — FNV-1a over the *canonical form* of a
 //!   [`RunSpec`](crate::RunSpec)/[`CustomSpec`](crate::CustomSpec)
 //!   (pattern faults by value, not `Arc` pointer). Two requests that
 //!   describe the same simulation hash equal even when their `Arc`s
-//!   differ, which is what makes it usable as a cross-client dedup/cache
-//!   key. See the `identity` methods on the spec types.
+//!   differ. The hash is a compact label; exact dedup/cache keying uses
+//!   the canonical string itself (`CustomSpec::canonical`), where
+//!   equality is spec equality and collisions cannot alias.
 
 use wormsim_metrics::SimReport;
 
@@ -44,41 +45,6 @@ pub fn report_fingerprint(report: &SimReport) -> String {
     report_json_fingerprint(&json)
 }
 
-/// Incremental FNV-1a accumulator for spec identities: feed it the
-/// serialized components separated by field tags so adjacent fields
-/// cannot alias (`"ab", "c"` vs `"a", "bc"`).
-pub(crate) struct IdentityHasher {
-    h: u64,
-}
-
-impl IdentityHasher {
-    pub(crate) fn new() -> Self {
-        IdentityHasher {
-            h: 0xcbf2_9ce4_8422_2325,
-        }
-    }
-
-    /// Mix in one named component.
-    pub(crate) fn field(&mut self, tag: &str, value: &str) {
-        for &b in tag.as_bytes() {
-            self.h ^= b as u64;
-            self.h = self.h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        self.h ^= 0x1f; // unit separator: tag/value boundary
-        self.h = self.h.wrapping_mul(0x0000_0100_0000_01b3);
-        for &b in value.as_bytes() {
-            self.h ^= b as u64;
-            self.h = self.h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        self.h ^= 0x1e; // record separator: field boundary
-        self.h = self.h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-
-    pub(crate) fn finish(self) -> u64 {
-        self.h
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,14 +63,4 @@ mod tests {
         assert!(fp.chars().all(|c| c.is_ascii_hexdigit()));
     }
 
-    #[test]
-    fn identity_hasher_separates_fields() {
-        let mut a = IdentityHasher::new();
-        a.field("x", "ab");
-        a.field("y", "c");
-        let mut b = IdentityHasher::new();
-        b.field("x", "a");
-        b.field("y", "bc");
-        assert_ne!(a.finish(), b.finish());
-    }
 }

@@ -8,17 +8,17 @@
 //! [`ContextCache`](crate::cache::ContextCache) — specs carry
 //! `Arc<FaultPattern>` so the cache can key them by identity.
 
-use crate::cache::shared_cache;
+use crate::cache::{shared_cache, ContextCache};
 use crate::config::ExperimentConfig;
 use crate::pool::{SyncPtr, WorkerPool};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, MutexGuard};
 use wormsim_engine::{ConfigError, SimConfig, Simulator};
 use wormsim_fault::FaultPattern;
 use wormsim_metrics::SimReport;
 use wormsim_obs::Progress;
-use wormsim_routing::{AlgorithmKind, RoutingAlgorithm, RoutingContext};
+use wormsim_routing::{min_total_vcs, AlgorithmKind, RoutingAlgorithm, RoutingContext, VcConfig};
 use wormsim_traffic::Workload;
 
 /// One simulation work item.
@@ -92,15 +92,66 @@ fn run_reusing_sim(
     })
 }
 
+/// Poison-tolerant lock on the shared context cache. A panic elsewhere
+/// while the lock was held must not convert every later run in the
+/// process into a `PoisonError` panic of its own — the cache's contents
+/// are rebuilt-on-miss memoization, always safe to keep using.
+fn cache_lock() -> MutexGuard<'static, ContextCache> {
+    shared_cache()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Resolve the shared routing context and algorithm for a spec,
+/// validating the VC budget against the algorithm's constructor
+/// minimums *first* — the constructors enforce them as asserts, and an
+/// assert while holding the shared cache lock would otherwise poison it
+/// for every other run in the process.
+fn checked_context_and_algo(
+    mesh_size: u16,
+    pattern: &Arc<FaultPattern>,
+    kind: AlgorithmKind,
+    vc: VcConfig,
+) -> Result<(Arc<RoutingContext>, Arc<dyn RoutingAlgorithm>), ConfigError> {
+    if vc.total > 32 {
+        return Err(ConfigError::TooManyVcs {
+            requested: vc.total,
+            limit: 32,
+        });
+    }
+    if vc.bc_vcs > vc.total {
+        return Err(ConfigError::BcShareExceedsTotal {
+            total: vc.total,
+            bc_vcs: vc.bc_vcs,
+        });
+    }
+    if vc.bc_vcs < 4 {
+        return Err(ConfigError::BcShareTooSmall {
+            bc_vcs: vc.bc_vcs,
+            required: 4,
+        });
+    }
+    let mut cache = cache_lock();
+    let ctx = cache.context(mesh_size, pattern);
+    // Per-algorithm minimums are mesh-dependent (the hop-based schemes
+    // scale with the diameter), so they can only be checked once the
+    // mesh exists.
+    let required = min_total_vcs(kind, ctx.mesh(), vc.bc_vcs);
+    if vc.total < required {
+        return Err(ConfigError::InsufficientVcs {
+            algorithm: kind.paper_name(),
+            required,
+            total: vc.total,
+        });
+    }
+    let algo = cache.algorithm(kind, &ctx, vc);
+    Ok((ctx, algo))
+}
+
 /// Run one simulation to completion and return its report, or the
 /// [`ConfigError`] explaining why the spec's configuration is unrunnable.
 pub fn run_single(cfg: &ExperimentConfig, spec: &RunSpec) -> Result<SimReport, ConfigError> {
-    let (ctx, algo) = {
-        let mut cache = shared_cache().lock().expect("context cache");
-        let ctx = cache.context(cfg.mesh_size, &spec.pattern);
-        let algo = cache.algorithm(spec.kind, &ctx, cfg.vc);
-        (ctx, algo)
-    };
+    let (ctx, algo) = checked_context_and_algo(cfg.mesh_size, &spec.pattern, spec.kind, cfg.vc)?;
     run_reusing_sim(
         algo,
         ctx,
@@ -129,22 +180,40 @@ pub struct CustomSpec {
 }
 
 impl CustomSpec {
-    /// The stable identity of the simulation this spec describes: FNV-1a
-    /// over every input [`run_custom`] consumes, with the fault pattern
-    /// hashed *by value*. Two specs with equal identity produce
-    /// byte-identical reports (the engine is deterministic in its
-    /// inputs), which is what lets the serving layer use this as its
-    /// dedup and result-cache key.
-    pub fn identity(&self) -> u64 {
-        let mut h = crate::fingerprint::IdentityHasher::new();
+    /// The canonical serialized form of this spec: every input
+    /// [`run_custom`] consumes, rendered as tagged fields (separated so
+    /// adjacent fields cannot alias) with the fault pattern serialized
+    /// *by value*, not by `Arc` pointer. Two specs describe the same
+    /// simulation — and produce byte-identical reports, the engine being
+    /// deterministic in its inputs — iff their canonical forms are
+    /// equal. The serving layer keys its dedup and result-cache maps on
+    /// this string, so key equality *is* spec equality and no hash
+    /// collision (accidental or crafted) can alias two different
+    /// simulations.
+    pub fn canonical(&self) -> String {
+        fn field(out: &mut String, tag: &str, value: &str) {
+            out.push_str(tag);
+            out.push('\u{1f}'); // unit separator: tag/value boundary
+            out.push_str(value);
+            out.push('\u{1e}'); // record separator: field boundary
+        }
         let ser = |v: &dyn erased_ser::ErasedSerialize| v.to_json();
-        h.field("mesh_size", &self.mesh_size.to_string());
-        h.field("vc", &ser(&self.vc));
-        h.field("sim", &ser(&self.sim));
-        h.field("kind", &ser(&self.kind));
-        h.field("workload", &ser(&self.workload));
-        h.field("pattern", &ser(&*self.pattern));
-        h.finish()
+        let mut out = String::new();
+        field(&mut out, "mesh_size", &self.mesh_size.to_string());
+        field(&mut out, "vc", &ser(&self.vc));
+        field(&mut out, "sim", &ser(&self.sim));
+        field(&mut out, "kind", &ser(&self.kind));
+        field(&mut out, "workload", &ser(&self.workload));
+        field(&mut out, "pattern", &ser(&*self.pattern));
+        out
+    }
+
+    /// FNV-1a of [`CustomSpec::canonical`] — a compact 64-bit label for
+    /// logs and artifacts. Equal canonical forms hash equal; anything
+    /// that must *distinguish* specs (the serving layer's dedup/cache)
+    /// keys on the canonical form itself, not this hash.
+    pub fn identity(&self) -> u64 {
+        crate::fingerprint::fnv1a(self.canonical().as_bytes())
     }
 }
 
@@ -165,28 +234,7 @@ mod erased_ser {
 /// Run a fully parameterized simulation, or return the [`ConfigError`]
 /// explaining why the spec's configuration is unrunnable.
 pub fn run_custom(spec: &CustomSpec) -> Result<SimReport, ConfigError> {
-    // Validate the VC budget before building the algorithm:
-    // `build_algorithm` enforces these as asserts, and panicking while
-    // holding the shared context-cache lock below would poison it for
-    // every other run in the process.
-    if spec.vc.total > 32 {
-        return Err(ConfigError::TooManyVcs {
-            requested: spec.vc.total,
-            limit: 32,
-        });
-    }
-    if spec.vc.bc_vcs > spec.vc.total {
-        return Err(ConfigError::BcShareExceedsTotal {
-            total: spec.vc.total,
-            bc_vcs: spec.vc.bc_vcs,
-        });
-    }
-    let (ctx, algo) = {
-        let mut cache = shared_cache().lock().expect("context cache");
-        let ctx = cache.context(spec.mesh_size, &spec.pattern);
-        let algo = cache.algorithm(spec.kind, &ctx, spec.vc);
-        (ctx, algo)
-    };
+    let (ctx, algo) = checked_context_and_algo(spec.mesh_size, &spec.pattern, spec.kind, spec.vc)?;
     run_reusing_sim(algo, ctx, spec.workload.clone(), spec.sim)
 }
 
@@ -405,6 +453,127 @@ mod tests {
         assert_eq!(err, wormsim_engine::ConfigError::ZeroShards);
         let again = serde_json::to_string(&run_single(&cfg, &spec).unwrap()).unwrap();
         assert_eq!(good, again, "rejected reset corrupted the parked simulator");
+    }
+
+    #[test]
+    fn insufficient_vc_budget_is_a_typed_error_not_a_panic() {
+        // Regression: a spec passing the coarse checks (total <= 32,
+        // bc_vcs <= total) but below an algorithm's constructor minimum —
+        // e.g. Duato with 6 total VCs, whose base budget 2 trips
+        // `assert!(budget >= 3)` — used to panic inside the shared
+        // context cache's critical section, poisoning the lock and
+        // turning every later run in the process into a panic of its
+        // own. It must come back as a typed ConfigError instead, for
+        // every roster algorithm and mesh-dependent minimum.
+        let mesh = Mesh::square(6);
+        let pattern = Arc::new(FaultPattern::fault_free(&mesh));
+        let mut sim = wormsim_engine::SimConfig::quick();
+        sim.warmup_cycles = 50;
+        sim.measure_cycles = 150;
+        let spec = |kind: AlgorithmKind, vc: VcConfig| CustomSpec {
+            mesh_size: 6,
+            vc,
+            sim,
+            kind,
+            pattern: pattern.clone(),
+            workload: Workload::paper_uniform(0.002),
+        };
+        let with_total = |total: u8| VcConfig {
+            total,
+            ..VcConfig::paper()
+        };
+        let err = run_custom(&spec(AlgorithmKind::Duato, with_total(6))).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ConfigError::InsufficientVcs {
+                    required: 7,
+                    total: 6,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        for kind in AlgorithmKind::ALL
+            .iter()
+            .chain(AlgorithmKind::EXTENDED_BASELINES.iter())
+        {
+            let required = min_total_vcs(*kind, &mesh, 4);
+            let err = run_custom(&spec(*kind, with_total(required - 1))).unwrap_err();
+            assert!(
+                matches!(err, ConfigError::InsufficientVcs { .. }),
+                "{kind:?}: {err:?}"
+            );
+            run_custom(&spec(*kind, with_total(required)))
+                .unwrap_or_else(|e| panic!("{kind:?} at its minimum budget: {e}"));
+        }
+        // The BC overlay's own minimum (4 VCs) is enforced too, and a
+        // share past the total keeps its existing typed rejection.
+        let mut bc_small = VcConfig::paper();
+        bc_small.bc_vcs = 2;
+        assert!(matches!(
+            run_custom(&spec(AlgorithmKind::Duato, bc_small)).unwrap_err(),
+            ConfigError::BcShareTooSmall {
+                bc_vcs: 2,
+                required: 4
+            }
+        ));
+        let mut bc_large = VcConfig::paper();
+        bc_large.bc_vcs = 30;
+        assert!(matches!(
+            run_custom(&spec(AlgorithmKind::Duato, bc_large)).unwrap_err(),
+            ConfigError::BcShareExceedsTotal { .. }
+        ));
+        // None of the rejections above touched the shared cache's
+        // critical section: good specs still run.
+        run_custom(&spec(AlgorithmKind::Duato, VcConfig::paper())).expect("cache not poisoned");
+    }
+
+    #[test]
+    fn poisoned_shared_cache_lock_is_tolerated() {
+        // Even if some future bug panics while holding the shared cache
+        // lock, runs must keep working: the cache is rebuild-on-miss
+        // memoization, always safe to reuse, so the lock is taken
+        // poison-tolerantly.
+        let _ = std::thread::Builder::new()
+            .name("poisoner".into())
+            .spawn(|| {
+                let _guard = shared_cache().lock().unwrap_or_else(|e| e.into_inner());
+                panic!("deliberately poison the shared cache lock");
+            })
+            .unwrap()
+            .join();
+        let mut cfg = ExperimentConfig::new(Scale::Quick);
+        cfg.sim.warmup_cycles = 100;
+        cfg.sim.measure_cycles = 300;
+        let mesh = Mesh::square(10);
+        let spec = RunSpec {
+            kind: AlgorithmKind::Xy,
+            pattern: Arc::new(FaultPattern::fault_free(&mesh)),
+            rate: 0.002,
+            seed: 11,
+        };
+        run_single(&cfg, &spec).expect("run survives a poisoned cache lock");
+    }
+
+    #[test]
+    fn canonical_form_is_spec_equality_and_identity_hashes_it() {
+        let mesh = Mesh::square(8);
+        let pattern = Arc::new(FaultPattern::fault_free(&mesh));
+        let spec = |seed: u64| CustomSpec {
+            mesh_size: 8,
+            vc: VcConfig::paper(),
+            sim: wormsim_engine::SimConfig::quick().with_seed(seed),
+            kind: AlgorithmKind::Duato,
+            pattern: pattern.clone(),
+            workload: Workload::paper_uniform(0.002),
+        };
+        assert_eq!(spec(1).canonical(), spec(1).canonical());
+        assert_ne!(spec(1).canonical(), spec(2).canonical());
+        assert_eq!(
+            spec(1).identity(),
+            crate::fingerprint::fnv1a(spec(1).canonical().as_bytes())
+        );
     }
 
     #[test]

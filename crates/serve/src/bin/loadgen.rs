@@ -130,6 +130,10 @@ fn invalid_specs(seed: u64) -> Vec<(WireSpec, &'static str)> {
     zero_shards.shards = 0;
     let mut too_many_vcs = base(seed + 2);
     too_many_vcs.vc_total = 40;
+    // Passes the wire parse check (>= 6) but is below Duato's
+    // constructor minimum of 7 — must reject, not panic the server.
+    let mut under_min_vcs = base(seed + 5);
+    under_min_vcs.vc_total = 6;
     let mut unknown_algo = base(seed + 3);
     unknown_algo.algorithm = "Bogus".into();
     let mut bad_coord = base(seed + 4);
@@ -137,6 +141,7 @@ fn invalid_specs(seed: u64) -> Vec<(WireSpec, &'static str)> {
     vec![
         (zero_shards, "config"),
         (too_many_vcs, "config"),
+        (under_min_vcs, "config"),
         (unknown_algo, "bad_spec"),
         (bad_coord, "bad_spec"),
     ]

@@ -15,8 +15,10 @@
 //!   invariant under heavy concurrency.
 //! - **Work sharing.** Identical concurrent requests are deduplicated
 //!   (joiners attach to the running job); identical later requests hit a
-//!   bounded LRU result cache whose entries are integrity-checked
-//!   against their fingerprints before being served.
+//!   bounded LRU result cache. Both are keyed by the spec's full
+//!   canonical content — never a bare hash — so no two distinct specs
+//!   can ever share an entry, and cached reports are fingerprint-
+//!   verified when inserted.
 //! - **Typed overload behavior.** Per-client quotas and a queue-depth
 //!   bound reject with machine-readable error frames (`quota`,
 //!   `backpressure`) instead of hanging; malformed specs and

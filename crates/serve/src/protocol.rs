@@ -239,7 +239,8 @@ impl WireSpec {
     ///
     /// Only *malformed* specs are rejected here. A well-formed spec the
     /// engine cannot honor (`shards: 0`, `vc_total` past the bitmask
-    /// ceiling) passes through and comes back from the runner as a typed
+    /// ceiling or below the algorithm's mesh-dependent minimum) passes
+    /// through and comes back from the runner as a typed
     /// [`wormsim_engine::ConfigError`] — by design, so the scheduler's
     /// error path exercises the same machinery as any other run.
     pub fn to_custom(&self, interner: &PatternInterner) -> Result<CustomSpec, SpecError> {
@@ -395,8 +396,8 @@ pub struct ServerStats {
     pub config_rejects: u64,
     /// Jobs lost to worker panics (answered with `code: "internal"`).
     pub internal_errors: u64,
-    /// Cache entries dropped by the integrity recheck (fingerprint
-    /// mismatch — should stay 0).
+    /// Results refused caching by the insert-time fingerprint
+    /// verification (mismatch — should stay 0).
     pub integrity_drops: u64,
     /// Current result-cache population.
     pub cached_results: u64,

@@ -1,12 +1,15 @@
 //! Dedup/caching job scheduler over the persistent worker pool.
 //!
 //! Every Run/Sweep request decomposes into per-spec *jobs* keyed by
-//! [`CustomSpec::identity`] (content hash, pattern by value). At submit
-//! time each job is classified:
+//! [`CustomSpec::canonical`] — the spec's full serialized content,
+//! pattern by value, so map-key equality *is* spec equality (a 64-bit
+//! hash key would let two different specs collide, and a crafted
+//! FNV-1a collision would then serve one client another simulation's
+//! report). At submit time each job is classified:
 //!
-//! - **cache hit** — a completed result with this identity is in the
-//!   bounded LRU; its stored fingerprint is re-verified against the
-//!   cached bytes and the result is delivered without simulating.
+//! - **cache hit** — a completed result for this exact spec is in the
+//!   bounded LRU (fingerprint-verified when it was inserted) and is
+//!   delivered without simulating.
 //! - **dedup join** — an identical job is already queued or running;
 //!   the request attaches as a waiter and shares the one execution.
 //! - **new** — the job enters the queue for the dispatcher.
@@ -103,8 +106,13 @@ struct JobEntry {
     waiters: Vec<Waiter>,
 }
 
+/// Dedup/cache key: the spec's full canonical form (see the module
+/// docs — the shared `Arc` keeps the dedup map, queue, and LRU order
+/// from cloning the string).
+type SpecKey = Arc<String>;
+
 struct QueuedJob {
-    identity: u64,
+    key: SpecKey,
     spec: CustomSpec,
 }
 
@@ -117,13 +125,14 @@ struct CacheEntry {
 #[derive(Default)]
 struct SchedState {
     queue: VecDeque<QueuedJob>,
-    /// Queued or running jobs by identity; waiters share the execution.
-    jobs: HashMap<u64, JobEntry>,
+    /// Queued or running jobs by canonical spec; waiters share the
+    /// execution.
+    jobs: HashMap<SpecKey, JobEntry>,
     /// Jobs admitted but not yet resolved (queue + running batch).
     pending_jobs: usize,
-    cache: HashMap<u64, CacheEntry>,
-    /// Lazy-LRU order: `(identity, stamp)`; stale stamps are skipped.
-    cache_order: VecDeque<(u64, u64)>,
+    cache: HashMap<SpecKey, CacheEntry>,
+    /// Lazy-LRU order: `(key, stamp)`; stale stamps are skipped.
+    cache_order: VecDeque<(SpecKey, u64)>,
     cache_stamp: u64,
     client_load: HashMap<u64, usize>,
     stop: bool,
@@ -202,8 +211,9 @@ impl Scheduler {
         if specs.is_empty() {
             return Err(("bad_spec", "empty spec list".into()));
         }
-        // Identities involve serializing the specs — do it outside the lock.
-        let identities: Vec<u64> = specs.iter().map(|s| s.identity()).collect();
+        // Canonical keys involve serializing the specs — do it outside
+        // the lock.
+        let keys: Vec<SpecKey> = specs.iter().map(|s| Arc::new(s.canonical())).collect();
         let req = Arc::new(RequestState {
             id,
             client,
@@ -241,42 +251,23 @@ impl Scheduler {
             }
             // Classify each slot without mutating, so a backpressure
             // rejection leaves no trace. Duplicates *within* the request
-            // join the slot that will create the job.
+            // join the slot that will create the job. A hit's entry was
+            // fingerprint-verified at insert and is immutable behind its
+            // `Arc`, so delivery is pointer clones — no O(report) work
+            // under this lock.
             let mut plans: Vec<Plan> = Vec::with_capacity(specs.len());
-            let mut claimed: std::collections::HashSet<u64> = std::collections::HashSet::new();
+            let mut claimed: std::collections::HashSet<SpecKey> = std::collections::HashSet::new();
             let mut new_jobs = 0usize;
-            for ident in &identities {
-                let verified = s
-                    .cache
-                    .get(ident)
-                    .map(|entry| entry.fingerprint == report_json_fingerprint(&entry.report_json));
-                let plan = match verified {
-                    Some(true) => {
-                        let entry = &s.cache[ident];
-                        Plan::CacheHit(SlotResult::Ok {
-                            report_json: entry.report_json.clone(),
-                            fingerprint: entry.fingerprint.clone(),
-                            cached: true,
-                            deduped: false,
-                        })
-                    }
-                    Some(false) => {
-                        // Integrity recheck failed: drop the entry and
-                        // recompute as if it were never cached.
-                        s.cache.remove(ident);
-                        inner
-                            .counters
-                            .integrity_drops
-                            .fetch_add(1, Ordering::Relaxed);
-                        if s.jobs.contains_key(ident) || !claimed.insert(*ident) {
-                            Plan::Join
-                        } else {
-                            new_jobs += 1;
-                            Plan::New
-                        }
-                    }
+            for key in &keys {
+                let plan = match s.cache.get(key) {
+                    Some(entry) => Plan::CacheHit(SlotResult::Ok {
+                        report_json: entry.report_json.clone(),
+                        fingerprint: entry.fingerprint.clone(),
+                        cached: true,
+                        deduped: false,
+                    }),
                     None => {
-                        if s.jobs.contains_key(ident) || !claimed.insert(*ident) {
+                        if s.jobs.contains_key(key) || !claimed.insert(key.clone()) {
                             Plan::Join
                         } else {
                             new_jobs += 1;
@@ -303,41 +294,39 @@ impl Scheduler {
             // the enumeration index *is* the request slot.
             inner.counters.requests.fetch_add(1, Ordering::Relaxed);
             *s.client_load.entry(client).or_insert(0) += 1;
-            let mut touched: Vec<u64> = Vec::new();
-            for (slot, ((plan, ident), spec)) in
-                plans.into_iter().zip(&identities).zip(specs).enumerate()
-            {
+            let mut touched: Vec<SpecKey> = Vec::new();
+            for (slot, ((plan, key), spec)) in plans.into_iter().zip(&keys).zip(specs).enumerate() {
                 match plan {
                     Plan::CacheHit(result) => {
                         inner.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
-                        touched.push(*ident);
+                        touched.push(key.clone());
                         immediate.push((slot, result));
                     }
                     Plan::Join => {
                         inner.counters.dedup_joins.fetch_add(1, Ordering::Relaxed);
                         s.jobs
-                            .get_mut(ident)
+                            .get_mut(key)
                             .expect("joined job exists")
                             .waiters
                             .push((req.clone(), slot));
                     }
                     Plan::New => {
                         s.jobs.insert(
-                            *ident,
+                            key.clone(),
                             JobEntry {
                                 waiters: vec![(req.clone(), slot)],
                             },
                         );
                         s.queue.push_back(QueuedJob {
-                            identity: *ident,
+                            key: key.clone(),
                             spec,
                         });
                         s.pending_jobs += 1;
                     }
                 }
             }
-            for ident in touched {
-                touch_cache(&mut s, ident);
+            for key in touched {
+                touch_cache(&mut s, &key);
             }
             inner.work_ready.notify_one();
         }
@@ -387,14 +376,14 @@ impl Drop for Scheduler {
     }
 }
 
-/// Mark `identity` most-recently-used (lazy LRU: push a fresh stamp,
-/// stale queue entries are skipped at eviction time).
-fn touch_cache(s: &mut SchedState, identity: u64) {
+/// Mark `key` most-recently-used (lazy LRU: push a fresh stamp, stale
+/// queue entries are skipped at eviction time).
+fn touch_cache(s: &mut SchedState, key: &SpecKey) {
     s.cache_stamp += 1;
     let stamp = s.cache_stamp;
-    if let Some(e) = s.cache.get_mut(&identity) {
+    if let Some(e) = s.cache.get_mut(key) {
         e.stamp = stamp;
-        s.cache_order.push_back((identity, stamp));
+        s.cache_order.push_back((key.clone(), stamp));
     }
 }
 
@@ -522,26 +511,39 @@ impl Inner {
     /// and fill their slots.
     fn resolve_job(
         self: &Arc<Self>,
-        identity: u64,
+        key: &SpecKey,
         outcome: Result<(Arc<String>, String), JobError>,
     ) {
         self.counters.jobs_run.fetch_add(1, Ordering::Relaxed);
+        // Fingerprint integrity is verified once, here at insert time
+        // and outside the state lock — the entry is immutable behind its
+        // `Arc` afterwards, so cache hits never rehash the report while
+        // holding the lock.
+        let cacheable = match &outcome {
+            Ok((json, fp)) => {
+                let ok = *fp == report_json_fingerprint(json);
+                if !ok {
+                    self.counters.integrity_drops.fetch_add(1, Ordering::Relaxed);
+                }
+                ok
+            }
+            Err(_) => false,
+        };
         let waiters = {
             let mut s = lock(&self.state);
             s.pending_jobs = s.pending_jobs.saturating_sub(1);
-            if let Ok((json, fp)) = &outcome {
-                cache_insert(
-                    &mut s,
-                    self.cfg.cache_capacity,
-                    identity,
-                    json.clone(),
-                    fp.clone(),
-                );
+            if cacheable {
+                if let Ok((json, fp)) = &outcome {
+                    cache_insert(
+                        &mut s,
+                        self.cfg.cache_capacity,
+                        key,
+                        json.clone(),
+                        fp.clone(),
+                    );
+                }
             }
-            s.jobs
-                .remove(&identity)
-                .map(|e| e.waiters)
-                .unwrap_or_default()
+            s.jobs.remove(key).map(|e| e.waiters).unwrap_or_default()
         };
         match outcome {
             Ok((json, fp)) => {
@@ -614,7 +616,7 @@ impl Inner {
                     }
                     Err(e) => Err(JobError::Config(e)),
                 };
-                self.resolve_job(job.identity, outcome);
+                self.resolve_job(&job.key, outcome);
                 done[i].store(true, Ordering::Release);
             };
             if let Err((_claimed, _payload)) = self.pool.run(threads, batch.len(), &task) {
@@ -622,7 +624,7 @@ impl Inner {
                 // every job the batch did not get to so no waiter hangs.
                 for (i, job) in batch.iter().enumerate() {
                     if !done[i].load(Ordering::Acquire) {
-                        self.resolve_job(job.identity, Err(JobError::Panicked));
+                        self.resolve_job(&job.key, Err(JobError::Panicked));
                     }
                 }
             }
@@ -652,7 +654,7 @@ impl JobError {
 fn cache_insert(
     s: &mut SchedState,
     cap: usize,
-    identity: u64,
+    key: &SpecKey,
     report_json: Arc<String>,
     fingerprint: String,
 ) {
@@ -661,10 +663,10 @@ fn cache_insert(
     }
     while s.cache.len() >= cap {
         match s.cache_order.pop_front() {
-            Some((ident, stamp)) => {
-                let current = s.cache.get(&ident).map(|e| e.stamp);
+            Some((k, stamp)) => {
+                let current = s.cache.get(&k).map(|e| e.stamp);
                 if current == Some(stamp) {
-                    s.cache.remove(&ident);
+                    s.cache.remove(&k);
                 }
             }
             None => break,
@@ -673,14 +675,14 @@ fn cache_insert(
     s.cache_stamp += 1;
     let stamp = s.cache_stamp;
     s.cache.insert(
-        identity,
+        key.clone(),
         CacheEntry {
             report_json,
             fingerprint,
             stamp,
         },
     );
-    s.cache_order.push_back((identity, stamp));
+    s.cache_order.push_back((key.clone(), stamp));
 }
 
 #[cfg(test)]
@@ -867,16 +869,18 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_used() {
+        let key = |name: &str| -> SpecKey { Arc::new(name.to_string()) };
         let mut s = SchedState::default();
-        for i in 0..3u64 {
-            cache_insert(&mut s, 3, i, Arc::new(format!("r{i}")), format!("f{i}"));
+        for i in 0..3 {
+            let k = key(&format!("k{i}"));
+            cache_insert(&mut s, 3, &k, Arc::new(format!("r{i}")), format!("f{i}"));
         }
-        // Touch 0 so 1 becomes the LRU entry.
-        touch_cache(&mut s, 0);
-        cache_insert(&mut s, 3, 9, Arc::new("r9".into()), "f9".into());
-        assert!(s.cache.contains_key(&0), "touched entry survives");
-        assert!(!s.cache.contains_key(&1), "LRU entry evicted");
-        assert!(s.cache.contains_key(&2));
-        assert!(s.cache.contains_key(&9));
+        // Touch k0 so k1 becomes the LRU entry.
+        touch_cache(&mut s, &key("k0"));
+        cache_insert(&mut s, 3, &key("k9"), Arc::new("r9".into()), "f9".into());
+        assert!(s.cache.contains_key(&key("k0")), "touched entry survives");
+        assert!(!s.cache.contains_key(&key("k1")), "LRU entry evicted");
+        assert!(s.cache.contains_key(&key("k2")));
+        assert!(s.cache.contains_key(&key("k9")));
     }
 }

@@ -91,7 +91,13 @@ impl Server {
                                         handle_conn(stream, client, scheduler, stop, interner)
                                     });
                                 if let Ok(h) = handle {
-                                    lock(&conns).push(h);
+                                    let mut conns = lock(&conns);
+                                    // Reap exited connections as new ones
+                                    // arrive, so churn doesn't accumulate
+                                    // finished handles forever; stop()
+                                    // joins whatever is still live.
+                                    conns.retain(|c| !c.is_finished());
+                                    conns.push(h);
                                 }
                             }
                             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {

@@ -104,6 +104,11 @@ fn soak_over_1000_concurrent_mixed_requests_zero_divergence() {
         zero_shards.shards = 0;
         let mut too_many_vcs = pool[1].clone();
         too_many_vcs.vc_total = 40;
+        // Passes the wire parse check (>= 6) but is below Duato's
+        // constructor minimum — must be a typed rejection, and must not
+        // poison the shared context cache for the rest of the storm.
+        let mut under_min_vcs = pool[0].clone();
+        under_min_vcs.vc_total = 6;
         let mut unknown_algo = pool[2].clone();
         unknown_algo.algorithm = "Bogus".into();
         let mut bad_coord = pool[3].clone();
@@ -111,6 +116,7 @@ fn soak_over_1000_concurrent_mixed_requests_zero_divergence() {
         vec![
             (zero_shards, "config"),
             (too_many_vcs, "config"),
+            (under_min_vcs, "config"),
             (unknown_algo, "bad_spec"),
             (bad_coord, "bad_spec"),
         ]
