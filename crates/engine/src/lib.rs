@@ -47,6 +47,7 @@ mod message;
 pub mod pool;
 mod shard;
 mod simulator;
+mod waiters;
 
 pub use config::{Arbitration, ConfigError, SimConfig};
 pub use fault_hook::{FaultActivation, FaultDriver};

@@ -149,6 +149,14 @@ pub(crate) enum AllocPhase {
 
 /// A message in flight. Its flits are never materialized: each held VC
 /// tracks only counts, which fully determines wormhole pipeline behavior.
+///
+/// The per-cycle scan flags — liveness, [`AllocPhase`], the movement
+/// stall bit, and the watchdog's last-progress stamp — live in the
+/// simulator's id-indexed struct-of-arrays buffers
+/// (`Simulator::{alive, alloc, stalled, last_progress}`), not here: the
+/// service-order, watchdog, and retain passes read exactly one of those
+/// per message, and packing them densely turns each pass into a linear
+/// scan instead of striding through 100+-byte `Msg` records.
 #[derive(Debug)]
 pub(crate) struct Msg {
     // --- hot: touched every cycle for every active message ---
@@ -161,19 +169,6 @@ pub(crate) struct Msg {
     pub length: u32,
     pub dest: NodeId,
     pub src: NodeId,
-    /// Slab liveness flag.
-    pub alive: bool,
-    /// Header-allocation phase (see [`AllocPhase`]).
-    pub alloc: AllocPhase,
-    /// No flit of this message can move, now or on any future cycle,
-    /// until its *own* state changes (the movement predicates depend only
-    /// on the message's own buffer occupancies, `entered` counts, and
-    /// `at_source` — never on other traffic), so the per-cycle movement
-    /// pass skips it outright. Cleared when the path grows (header
-    /// allocated a new VC) or the message is reset/re-routed.
-    pub stalled: bool,
-    /// Cycle of the last flit movement (watchdog input).
-    pub last_progress: u64,
     // --- cold: read on routing decisions, delivery, or recovery only ---
     pub created: u64,
     /// Cycle the first flit entered the network (None while still queued at
@@ -203,13 +198,9 @@ impl Msg {
             path: PathBuf::default(),
             at_source: length,
             delivered: 0,
-            last_progress: created,
-            alive: true,
             recoveries: 0,
             chaos_aborts: 0,
             abort_tag: None,
-            alloc: AllocPhase::Contend,
-            stalled: false,
         }
     }
 
@@ -235,13 +226,9 @@ impl Msg {
         self.path.clear();
         self.at_source = length;
         self.delivered = 0;
-        self.last_progress = created;
-        self.alive = true;
         self.recoveries = 0;
         self.chaos_aborts = 0;
         self.abort_tag = None;
-        self.alloc = AllocPhase::Contend;
-        self.stalled = false;
     }
 
     /// Whether the header flit is sitting in the buffer of the last held VC

@@ -12,7 +12,9 @@
 //! draws no randomness. Its writes fall into three classes:
 //!
 //! 1. **Message-local** — the message's own path entries, counters, and
-//!    flags. Trivially parallel.
+//!    its struct-of-arrays hot flags (`alive`/`alloc`/`stalled`/
+//!    `last_progress` slots, all indexed by the message id). Trivially
+//!    parallel.
 //! 2. **Footprint-local** — per-channel link budgets (`link_used`,
 //!    `occ_mask`, `slots`), per-node ejection budgets (`eject_used`) and
 //!    arrival counters. Two messages race on these only when their
@@ -42,14 +44,18 @@
 //! - Releases never split clusters. Stale merges are *conservative*: an
 //!   over-coarse partition only reduces parallelism, never correctness.
 //!   To recover parallelism, the structure is rebuilt from the live
-//!   message paths every [`REBUILD_PERIOD`] cycles.
-//! - A cluster's shard is the column band ([`Mesh::column_band`]) of its
-//!   smallest member column — spatial locality keeps neighboring traffic
-//!   on one worker. When incremental unions merge two clusters between
-//!   rebuilds, the smaller-key root wins and the merged cluster inherits
-//!   its shard; *which* shard a cluster lands on affects only load
-//!   balance, never results, because different clusters have disjoint
-//!   write footprints by construction.
+//!   message paths — not on a fixed cycle period, but when the release
+//!   volume since the last rebuild says enough slack has accumulated to
+//!   be worth reclaiming (see [`ShardRuntime::should_rebuild`]).
+//! - A cluster's shard is dealt from its root key by contiguous key-space
+//!   ranges: `shard = root * shards / num_keys`. Key space is channels
+//!   (index-ordered, hence spatially ordered) then nodes, so contiguous
+//!   ranges approximate spatial bands without any per-key assignment
+//!   table or per-rebuild banding pass. When incremental unions merge two
+//!   clusters between rebuilds, the smaller-key root wins and the merged
+//!   cluster deterministically lands on that root's range; *which* shard
+//!   a cluster lands on affects only load balance, never results, because
+//!   different clusters have disjoint write footprints by construction.
 //!
 //! The injection-port slot (`injecting[src]`) needs no clustering: during
 //! movement only the message holding the port writes it (engine invariant
@@ -57,13 +63,13 @@
 
 use crate::message::{AllocPhase, Msg};
 use crate::pool::SyncPtr;
-use wormsim_topology::{ChannelId, Mesh, NodeId};
+use wormsim_topology::Mesh;
 
-/// Cycles between union-find rebuilds. Rebuilding costs one pass over all
-/// live path entries plus two over the key space; between rebuilds the
-/// partition only coarsens (conservatively), so the period trades rebuild
-/// overhead against parallelism lost to stale merges.
-pub(crate) const REBUILD_PERIOD: u64 = 32;
+/// Partition passes between forced rebuilds. The release-volume trigger
+/// is the primary one, but several release paths (inline sequential
+/// cycles on an idle pool, kills, aborts) can under-feed it; this caps
+/// how long a stale, fully-merged partition can linger regardless.
+const REBUILD_PARTITION_CAP: u32 = 64;
 
 /// Deferred global effects of one shard's movement pass, replayed by the
 /// caller at the cycle boundary. `rank` is the message's index in the
@@ -101,6 +107,12 @@ impl ShardScratch {
 /// completion handshake orders every write before the caller's merge.
 pub(crate) struct MoveArena {
     pub msgs: SyncPtr<Msg>,
+    // Struct-of-arrays hot flags, indexed by message id (message-local:
+    // each worker touches only its own shard's ids).
+    pub alive: SyncPtr<bool>,
+    pub alloc: SyncPtr<AllocPhase>,
+    pub stalled: SyncPtr<bool>,
+    pub last_progress: SyncPtr<u64>,
     pub slots: SyncPtr<Option<u32>>,
     pub occ_mask: SyncPtr<u32>,
     pub link_used: SyncPtr<u64>,
@@ -114,43 +126,61 @@ pub(crate) struct MoveArena {
 }
 
 /// The sharded engine's persistent state: the footprint union-find, the
-/// per-key shard assignment, and the per-shard work lists and scratches
-/// (all allocation-reusing across cycles and `reset`s).
+/// per-shard work lists and deferred-effect scratches, the rank-merge
+/// batch buffer, and the rebuild-trigger accounting (all
+/// allocation-reusing across cycles and `reset`s).
 pub(crate) struct ShardRuntime {
-    mesh: Mesh,
     shards: u16,
     num_vcs: u8,
     /// Channel keys are `0..num_channel_slots`, node keys follow.
     num_channel_slots: usize,
+    /// Total key count (channels + nodes); the shard-dealing divisor.
+    num_keys: usize,
+    /// Whether this host has more than one core. Sampled once at
+    /// construction: on a single core the pooled path is pure overhead,
+    /// so the movement phase takes the plain sequential loop instead
+    /// (unless a test forces the pooled path).
+    multicore: bool,
     /// Union-find parent per key.
     parent: Vec<u32>,
-    /// Shard assignment per key, authoritative at the current root.
-    shard_of: Vec<u16>,
-    /// Mesh column per key (channel source column / node column).
-    col_of: Vec<u16>,
-    /// Rebuild scratch: minimum member column per root.
-    min_col: Vec<u16>,
+    /// Live path entries (held VCs) across all messages, maintained
+    /// incrementally from acquire/release events and recounted exactly at
+    /// each rebuild. The yardstick the release trigger measures against.
+    live_entries: u64,
+    /// VC releases observed since the last rebuild (movement tail drains,
+    /// completions, kills, aborts, watchdog recoveries). Each release is
+    /// potential cluster-splitting slack the incremental unions can never
+    /// reclaim.
+    releases_since_rebuild: u64,
+    /// Partition passes since the last rebuild (the fallback trigger).
+    partitions_since_rebuild: u32,
     /// Per-shard `(service rank, msg id)` movement lists for this cycle.
     pub lists: Vec<Vec<(u32, u32)>>,
     /// Per-shard deferred effects for this cycle.
     pub scratch: Vec<ShardScratch>,
+    /// Rank-merged payloads of one deferred-effect kind (most recent
+    /// [`ShardRuntime::merge_ranked`] call), in global service order.
+    pub merged: Vec<u32>,
     /// K-way merge cursors (reused across cycles).
     cursors: Vec<usize>,
 }
 
 impl ShardRuntime {
     pub fn new(mesh: &Mesh, shards: u16, num_vcs: u8) -> Box<ShardRuntime> {
+        let multicore = std::thread::available_parallelism().is_ok_and(|n| n.get() > 1);
         let mut rt = Box::new(ShardRuntime {
-            mesh: mesh.clone(),
             shards,
             num_vcs,
             num_channel_slots: 0,
+            num_keys: 0,
+            multicore,
             parent: Vec::new(),
-            shard_of: Vec::new(),
-            col_of: Vec::new(),
-            min_col: Vec::new(),
+            live_entries: 0,
+            releases_since_rebuild: 0,
+            partitions_since_rebuild: 0,
             lists: Vec::new(),
             scratch: Vec::new(),
+            merged: Vec::new(),
             cursors: Vec::new(),
         });
         rt.reconfigure(mesh, shards, num_vcs);
@@ -162,29 +192,44 @@ impl ShardRuntime {
     /// `Simulator::reset`.
     pub fn reconfigure(&mut self, mesh: &Mesh, shards: u16, num_vcs: u8) {
         debug_assert!(shards >= 1);
-        self.mesh = mesh.clone();
         self.shards = shards;
         self.num_vcs = num_vcs;
         self.num_channel_slots = mesh.num_channel_slots();
-        let keys = self.num_channel_slots + mesh.num_nodes();
-        self.parent.resize(keys, 0);
-        self.shard_of.resize(keys, 0);
-        self.col_of.resize(keys, 0);
-        self.min_col.resize(keys, 0);
-        for c in 0..self.num_channel_slots {
-            self.col_of[c] = mesh.channel_column(ChannelId(c as u32));
-        }
-        for n in 0..mesh.num_nodes() {
-            self.col_of[self.num_channel_slots + n] = mesh.coord(NodeId(n as u16)).x;
-        }
+        self.num_keys = self.num_channel_slots + mesh.num_nodes();
+        self.parent.resize(self.num_keys, 0);
         self.lists.resize_with(shards as usize, Vec::new);
         self.lists.truncate(shards as usize);
         self.scratch
             .resize_with(shards as usize, ShardScratch::default);
         self.scratch.truncate(shards as usize);
-        // Identity partition: every key its own cluster, banded by its
-        // own column (a rebuild with no live messages).
-        self.rebuild(&[], &[]);
+        // Identity partition: every key its own cluster (a rebuild with
+        // no live messages).
+        self.rebuild(&[], &[], &[]);
+    }
+
+    /// Whether the pooled movement path can possibly pay for itself here.
+    #[inline]
+    pub fn multicore(&self) -> bool {
+        self.multicore
+    }
+
+    /// Pre-size the per-cycle buffers for `max_active` concurrent
+    /// messages so the pooled path performs no allocation inside the
+    /// measurement window. Worst case puts every message in one shard, so
+    /// each list reserves the full population; the freed/merged buffers
+    /// get headroom for multi-key releases.
+    pub fn prewarm(&mut self, max_active: usize) {
+        for l in &mut self.lists {
+            l.reserve(max_active.saturating_sub(l.capacity()));
+        }
+        for s in &mut self.scratch {
+            s.completions
+                .reserve(max_active.saturating_sub(s.completions.capacity()));
+            s.freed
+                .reserve((2 * max_active).saturating_sub(s.freed.capacity()));
+        }
+        self.merged
+            .reserve((2 * max_active).saturating_sub(self.merged.capacity()));
     }
 
     #[inline]
@@ -206,7 +251,7 @@ impl ShardRuntime {
     }
 
     /// Merge two clusters; the smaller-key root wins, so the merged
-    /// cluster deterministically inherits the winner's shard assignment.
+    /// cluster deterministically inherits the winner's key-range shard.
     fn union(&mut self, a: u32, b: u32) {
         let ra = self.find(a);
         let rb = self.find(b);
@@ -223,6 +268,7 @@ impl ShardRuntime {
     /// downstream node (ejection budget + arrival counter).
     #[inline]
     pub fn note_allocation(&mut self, ch: u32, dest_node: usize, prev_ch: Option<u32>) {
+        self.live_entries += 1;
         let nk = self.node_key(dest_node);
         self.union(ch, nk);
         if let Some(p) = prev_ch {
@@ -230,20 +276,48 @@ impl ShardRuntime {
         }
     }
 
-    /// Recompute the union-find from the live message paths, then assign
-    /// every key's cluster to the column band of its smallest member
-    /// column. Runs every [`REBUILD_PERIOD`] cycles to shed stale merges.
-    pub fn rebuild(&mut self, active: &[u32], msgs: &[Msg]) {
+    /// Footprint shrink hook: `n` VC slots released (tail drains,
+    /// completions, kills, chaos aborts, watchdog recoveries). Feeds the
+    /// release-volume rebuild trigger — releases are exactly the events
+    /// whose cluster-splitting effect the incremental unions cannot
+    /// express.
+    #[inline]
+    pub fn note_releases(&mut self, n: u64) {
+        self.releases_since_rebuild += n;
+        self.live_entries = self.live_entries.saturating_sub(n);
+    }
+
+    /// Whether enough release slack has accumulated since the last
+    /// rebuild to be worth a reclaim pass. Triggered when the churn
+    /// rivals a quarter of the live footprint (small floor so light
+    /// traffic still rebuilds eventually), with a partition-count cap as
+    /// a fallback for under-counted release paths.
+    #[inline]
+    pub fn should_rebuild(&self) -> bool {
+        self.releases_since_rebuild >= (self.live_entries / 4).max(64)
+            || self.partitions_since_rebuild >= REBUILD_PARTITION_CAP
+    }
+
+    /// Recompute the union-find from the live message paths, shedding
+    /// every stale merge, and recount `live_entries` exactly. Purely
+    /// performance state: rebuild timing affects which clusters exist,
+    /// never any simulation result.
+    pub fn rebuild(&mut self, active: &[u32], msgs: &[Msg], alive: &[bool]) {
         for (k, p) in self.parent.iter_mut().enumerate() {
             *p = k as u32;
         }
+        let mut live = 0u64;
         for &id in active {
+            if !alive[id as usize] {
+                continue;
+            }
             let m = &msgs[id as usize];
-            if !m.alive || m.path.is_empty() {
+            if m.path.is_empty() {
                 continue;
             }
             let mut prev: Option<u32> = None;
             for e in m.path.iter() {
+                live += 1;
                 let nk = self.node_key(e.dest.index());
                 self.union(e.ch, nk);
                 if let Some(p) = prev {
@@ -252,25 +326,17 @@ impl ShardRuntime {
                 prev = Some(e.ch);
             }
         }
-        self.min_col.iter_mut().for_each(|c| *c = u16::MAX);
-        for k in 0..self.parent.len() as u32 {
-            let r = self.find(k) as usize;
-            let c = self.col_of[k as usize];
-            if c < self.min_col[r] {
-                self.min_col[r] = c;
-            }
-        }
-        for k in 0..self.parent.len() as u32 {
-            let r = self.find(k) as usize;
-            let col = self.min_col[r];
-            self.shard_of[k as usize] = self.mesh.column_band(col, self.shards);
-        }
+        self.live_entries = live;
+        self.releases_since_rebuild = 0;
+        self.partitions_since_rebuild = 0;
     }
 
     /// Split the cycle's service order into per-shard `(rank, id)` lists
-    /// and reset the per-shard scratches. A message's shard is its
-    /// cluster's (any footprint key's root — they all agree).
-    pub fn partition(&mut self, order: &[u32], msgs: &[Msg]) {
+    /// and reset the per-shard scratches. A message's shard is dealt from
+    /// its cluster root by contiguous key ranges — no per-key assignment
+    /// table, no banding pass at rebuild time.
+    pub fn partition(&mut self, order: &[u32], msgs: &[Msg], alive: &[bool]) {
+        self.partitions_since_rebuild += 1;
         for l in &mut self.lists {
             l.clear();
         }
@@ -278,41 +344,61 @@ impl ShardRuntime {
         for s in &mut self.scratch {
             s.reset(num_vcs);
         }
+        let shards = self.shards as u64;
+        let num_keys = self.num_keys as u64;
         for (i, &id) in order.iter().enumerate() {
+            if !alive[id as usize] {
+                continue;
+            }
             let m = &msgs[id as usize];
-            if !m.alive || m.path.is_empty() {
+            if m.path.is_empty() {
                 continue;
             }
             let ch = m.path[0].ch;
-            let root = self.find(ch) as usize;
-            let shard = self.shard_of[root];
-            self.lists[shard as usize].push((i as u32, id));
+            let root = self.find(ch);
+            let shard = (root as u64 * shards / num_keys) as usize;
+            self.lists[shard].push((i as u32, id));
         }
     }
 
-    /// Visit this cycle's deferred items of one kind in global rank order
-    /// (k-way merge over the per-shard rank-sorted lists), feeding each
-    /// payload to `apply`.
-    pub fn drain_ranked(
-        &mut self,
-        pick: impl Fn(&ShardScratch) -> &[(u32, u32)],
-        mut apply: impl FnMut(u32),
-    ) {
+    /// Merge one deferred-effect kind into [`ShardRuntime::merged`] in
+    /// global rank order. Run-copying k-way merge: pick the shard with
+    /// the smallest head rank, then bulk-copy its items up to the next
+    /// competing shard's head rank. Ranks are disjoint across shards (a
+    /// message lives in exactly one shard's list), so whole per-message
+    /// runs copy in one inner loop — a memcpy-like pass when effects
+    /// cluster, instead of an every-shard scan per item.
+    pub fn merge_ranked(&mut self, pick: impl Fn(&ShardScratch) -> &[(u32, u32)]) {
+        self.merged.clear();
         self.cursors.clear();
         self.cursors.resize(self.scratch.len(), 0);
         loop {
             let mut best: Option<(u32, usize)> = None;
+            let mut limit = u32::MAX;
             for (si, s) in self.scratch.iter().enumerate() {
                 if let Some(&(rank, _)) = pick(s).get(self.cursors[si]) {
-                    if best.is_none_or(|(br, _)| rank < br) {
-                        best = Some((rank, si));
+                    match best {
+                        Some((br, _)) if rank >= br => limit = limit.min(rank),
+                        _ => {
+                            if let Some((br, _)) = best {
+                                limit = limit.min(br);
+                            }
+                            best = Some((rank, si));
+                        }
                     }
                 }
             }
             let Some((_, si)) = best else { break };
-            let (_, payload) = pick(&self.scratch[si])[self.cursors[si]];
-            self.cursors[si] += 1;
-            apply(payload);
+            let items = pick(&self.scratch[si]);
+            let mut c = self.cursors[si];
+            while let Some(&(rank, payload)) = items.get(c) {
+                if rank >= limit {
+                    break;
+                }
+                self.merged.push(payload);
+                c += 1;
+            }
+            self.cursors[si] = c;
         }
     }
 }
@@ -320,7 +406,8 @@ impl ShardRuntime {
 /// One message's movement pass — the sharded mirror of
 /// `Simulator::move_flits`, kept line-for-line parallel with it (the
 /// shard-equivalence test matrix pins them together). Differences: writes
-/// go through the arena's raw views, and the global accumulators of the
+/// go through the arena's raw views (including the struct-of-arrays hot
+/// flags, indexed by the message id), and the global accumulators of the
 /// sequential version (`delivered_this_cycle`, `vc_usage`, wake-ups,
 /// completion stats) are deferred into `scratch` instead.
 ///
@@ -331,11 +418,12 @@ impl ShardRuntime {
 /// thread concurrently touches this message or any channel/node in its
 /// footprint — the union-find partition establishes exactly this.
 pub(crate) unsafe fn move_one(arena: &MoveArena, rank: u32, id: u32, scratch: &mut ShardScratch) {
-    let m = &mut *arena.msgs.at(id as usize);
-    if !m.alive || m.path.is_empty() {
+    let i = id as usize;
+    let m = &mut *arena.msgs.at(i);
+    if !*arena.alive.at(i) || m.path.is_empty() {
         return;
     }
-    if m.stalled {
+    if *arena.stalled.at(i) {
         return;
     }
     let depth = arena.depth;
@@ -370,7 +458,7 @@ pub(crate) unsafe fn move_one(arena: &MoveArena, rank: u32, id: u32, scratch: &m
             path[head_idx].entered += 1;
             progressed = true;
             if path[head_idx].entered == 1 {
-                m.alloc = if cur.dest == m.dest {
+                *arena.alloc.at(i) = if cur.dest == m.dest {
                     AllocPhase::Moving
                 } else {
                     AllocPhase::Contend
@@ -407,7 +495,7 @@ pub(crate) unsafe fn move_one(arena: &MoveArena, rank: u32, id: u32, scratch: &m
             m.at_source -= 1;
             progressed = true;
             if path.len() == 1 && path[0].entered == 1 {
-                m.alloc = if first.dest == m.dest {
+                *arena.alloc.at(i) = if first.dest == m.dest {
                     AllocPhase::Moving
                 } else {
                     AllocPhase::Contend
@@ -428,7 +516,7 @@ pub(crate) unsafe fn move_one(arena: &MoveArena, rank: u32, id: u32, scratch: &m
     }
 
     if progressed {
-        m.last_progress = arena.cycle;
+        *arena.last_progress.at(i) = arena.cycle;
     } else {
         // Stall detection, identical to the sequential path: the movement
         // predicates read only this message's own state, so a fully
@@ -444,7 +532,7 @@ pub(crate) unsafe fn move_one(arena: &MoveArena, rank: u32, id: u32, scratch: &m
                 }
             }
         }
-        m.stalled = !movable;
+        *arena.stalled.at(i) = !movable;
     }
 
     // Release drained tail VCs.
@@ -471,7 +559,7 @@ pub(crate) unsafe fn move_one(arena: &MoveArena, rank: u32, id: u32, scratch: &m
             scratch.freed.push((rank, e.key));
         }
         m.path.clear();
-        m.alive = false;
+        *arena.alive.at(i) = false;
         scratch.completions.push((rank, id));
     }
 }

@@ -5,7 +5,8 @@ use crate::config::{ConfigError, SimConfig};
 use crate::fault_hook::{FaultActivation, FaultDriver};
 use crate::message::{AllocPhase, Msg, MsgId, PathEntry};
 use crate::pool::{SyncPtr, WorkerPool};
-use crate::shard::{move_one, MoveArena, ShardRuntime, REBUILD_PERIOD};
+use crate::shard::{move_one, MoveArena, ShardRuntime};
+use crate::waiters::WaiterTable;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -50,6 +51,22 @@ pub struct Simulator<S: Sink = NullSink> {
     /// the stall scanner skip empty wake lists without loading them.
     waiter_mask: Vec<u32>,
     msgs: Vec<Msg>,
+    // --- per-message hot flags, struct-of-arrays, indexed by slab id ---
+    // Parallel to `msgs`. The service-order, watchdog, retain, and
+    // allocation-dispatch passes each read exactly one of these per
+    // message; keeping them in dense arrays makes those passes linear
+    // scans over 1–8-byte elements instead of strides through `Msg`
+    // records.
+    /// Slab liveness flag.
+    alive: Vec<bool>,
+    /// Header-allocation phase (see [`AllocPhase`]).
+    alloc: Vec<AllocPhase>,
+    /// Movement-stall skip flag: no flit of the message can move until
+    /// its own state changes (see the stall-detection comment in
+    /// [`Simulator::move_flits`]).
+    stalled: Vec<bool>,
+    /// Cycle of the last flit movement (watchdog input).
+    last_progress: Vec<u64>,
     free_list: Vec<u32>,
     /// Messages currently in the network or injecting.
     active: Vec<u32>,
@@ -84,7 +101,9 @@ pub struct Simulator<S: Sink = NullSink> {
     /// Per-VC-slot wake lists: blocked headers to re-arbitrate when the
     /// slot frees. Deduplicated on push; stale entries (headers that moved
     /// on, died, or were recycled) are dropped when the list drains.
-    waiters: Vec<Vec<u32>>,
+    /// Arena-backed flat storage (see [`WaiterTable`]) — one shared node
+    /// pool instead of a `Vec` per slot.
+    waiters: WaiterTable,
     /// `active` mirrored in `(created, id)` order. Maintained incrementally
     /// (binary insert on promotion, mirrored removals) and only under
     /// [`crate::config::Arbitration::OldestFirst`], replacing the full
@@ -143,6 +162,10 @@ pub struct Simulator<S: Sink = NullSink> {
     /// keeps the sequential phase-5 loop — and its zero-allocation steady
     /// state — exactly as before.
     shard_rt: Option<Box<ShardRuntime>>,
+    /// Test/bench hook: run the pooled movement path even on a
+    /// single-core host, where `shards > 1` otherwise takes the inline
+    /// sequential fast path (see [`Simulator::move_flits_sharded`]).
+    force_parallel: bool,
 }
 
 impl Simulator {
@@ -234,6 +257,10 @@ impl<S: Sink> Simulator<S> {
             occ_mask: vec![0; mesh.num_channel_slots()],
             waiter_mask: vec![0; mesh.num_channel_slots()],
             msgs: Vec::new(),
+            alive: Vec::new(),
+            alloc: Vec::new(),
+            stalled: Vec::new(),
+            last_progress: Vec::new(),
             free_list: Vec::new(),
             active: Vec::new(),
             queues: vec![VecDeque::new(); num_nodes],
@@ -249,7 +276,11 @@ impl<S: Sink> Simulator<S> {
             eligible_scratch: Vec::new(),
             busy_scratch: Vec::new(),
             freed_scratch: Vec::new(),
-            waiters: vec![Vec::new(); num_slots],
+            waiters: {
+                let mut w = WaiterTable::new();
+                w.reset(num_slots);
+                w
+            },
             ordered: Vec::new(),
             recheck_wait,
             latency: LatencyStats::new(),
@@ -278,6 +309,7 @@ impl<S: Sink> Simulator<S> {
             blocked_this_cycle: 0,
             completed_this_cycle: 0,
             shard_rt,
+            force_parallel: false,
             cfg,
             ctx,
         })
@@ -345,10 +377,7 @@ impl<S: Sink> Simulator<S> {
         self.occ_mask.iter_mut().for_each(|m| *m = 0);
         self.waiter_mask.resize(num_channels, 0);
         self.waiter_mask.iter_mut().for_each(|m| *m = 0);
-        self.waiters.resize_with(num_slots, Vec::new);
-        for w in &mut self.waiters {
-            w.clear();
-        }
+        self.waiters.reset(num_slots);
         self.link_used.resize(num_channels, 0);
         self.link_used.iter_mut().for_each(|u| *u = 0);
         self.eject_used.resize(num_nodes, 0);
@@ -358,8 +387,16 @@ impl<S: Sink> Simulator<S> {
         // free list descending so pops recycle ids in ascending order.
         for m in &mut self.msgs {
             m.path.clear();
-            m.alive = false;
         }
+        let n = self.msgs.len();
+        self.alive.resize(n, false);
+        self.alive.iter_mut().for_each(|a| *a = false);
+        self.alloc.resize(n, AllocPhase::Contend);
+        self.alloc.iter_mut().for_each(|a| *a = AllocPhase::Contend);
+        self.stalled.resize(n, false);
+        self.stalled.iter_mut().for_each(|s| *s = false);
+        self.last_progress.resize(n, 0);
+        self.last_progress.iter_mut().for_each(|p| *p = 0);
         self.free_list.clear();
         self.free_list.extend((0..self.msgs.len() as u32).rev());
         self.active.clear();
@@ -531,23 +568,32 @@ impl<S: Sink> Simulator<S> {
 
     /// Whether a manually injected message has been fully delivered.
     pub fn is_delivered(&self, id: MsgId) -> bool {
-        let m = &self.msgs[id.0 as usize];
-        !m.alive
+        !self.alive[id.0 as usize]
     }
 
     /// Pre-size every population-dependent structure so a run creating up
-    /// to `messages` messages, each holding at most `max_path` VCs at
-    /// once, performs no heap allocation afterwards. The slab is filled
-    /// with dead, capacity-reserved messages parked on the free list
-    /// (creation then always recycles), and source queues, scratch
-    /// buffers, and wake lists reserve for the same population.
+    /// to `messages` messages performs no heap allocation afterwards. The
+    /// slab is filled with dead, capacity-reserved messages parked on the
+    /// free list (creation then always recycles), and source queues,
+    /// scratch buffers, wake lists, and the shard runtime reserve for the
+    /// same population.
+    ///
+    /// Per-message path capacity is derived from the *actual* mesh shape:
+    /// a traversal pushes one entry per hop and the grow-only buffer
+    /// reclaims only when the path empties, so the bound is the longest
+    /// simple detour a routing algorithm takes — covered by one full
+    /// perimeter, `2 × (width + height)` hops. (This used to be a caller
+    /// constant shaped for the 10×10 paper mesh; a 64×64 run then spent
+    /// its first cycles growing every path buffer.)
     ///
     /// Queue reservations assume roughly uniform source selection (4× the
     /// per-node mean plus slack); a pathological workload funneling most
     /// creations through one source could still grow its queue. Intended
     /// for benchmarks that assert an allocation-free measurement window;
     /// simulation behavior is completely unaffected.
-    pub fn prewarm(&mut self, messages: usize, max_path: usize) {
+    pub fn prewarm(&mut self, messages: usize) {
+        let mesh = self.ctx.mesh();
+        let max_path = 2 * (mesh.width() as usize + mesh.height() as usize);
         let have = self.msgs.len();
         if messages > have {
             self.msgs.reserve(messages - have);
@@ -555,12 +601,16 @@ impl<S: Sink> Simulator<S> {
             for idx in have..messages {
                 let state = MessageState::new(NodeId(0), NodeId(0));
                 let mut m = Msg::new(NodeId(0), NodeId(0), 0, 0, state);
-                m.alive = false;
                 m.path.reserve(max_path);
                 self.msgs.push(m);
                 self.free_list.push(idx as u32);
             }
         }
+        let n = self.msgs.len();
+        self.alive.resize(n, false);
+        self.alloc.resize(n, AllocPhase::Contend);
+        self.stalled.resize(n, false);
+        self.last_progress.resize(n, 0);
         let num_nodes = self.queues.len();
         let per_node = 4 * messages / num_nodes.max(1) + 64;
         for q in &mut self.queues {
@@ -574,28 +624,42 @@ impl<S: Sink> Simulator<S> {
         self.ordered.reserve(max_active);
         self.stuck_scratch.reserve(max_active);
         self.backoff.reserve(max_active);
-        for w in &mut self.waiters {
-            w.reserve(8);
-        }
+        // Each blocked header registers on at most one routing decision's
+        // busy candidates at a time.
         let per_route = self.num_vcs as usize * 8;
+        self.waiters
+            .reserve_nodes(max_active.min(per_route * num_nodes));
         self.eligible_scratch.reserve(per_route);
         self.busy_scratch.reserve(per_route);
         self.freed_scratch.reserve(max_path);
+        if let Some(rt) = self.shard_rt.as_deref_mut() {
+            rt.prewarm(max_active);
+        }
     }
 
     fn alloc_msg(&mut self, src: NodeId, dest: NodeId) -> MsgId {
         let state = self.algo.init_message(src, dest);
         let length = self.workload.message_length;
-        if let Some(idx) = self.free_list.pop() {
+        let idx = if let Some(idx) = self.free_list.pop() {
             // Reset in place: keeps the slot's path capacity, so slab
             // reuse allocates nothing.
             self.msgs[idx as usize].reset(src, dest, length, self.cycle, state);
-            MsgId(idx)
+            idx
         } else {
             self.msgs
                 .push(Msg::new(src, dest, length, self.cycle, state));
-            MsgId(self.msgs.len() as u32 - 1)
-        }
+            self.alive.push(false);
+            self.alloc.push(AllocPhase::Contend);
+            self.stalled.push(false);
+            self.last_progress.push(0);
+            self.msgs.len() as u32 - 1
+        };
+        let i = idx as usize;
+        self.alive[i] = true;
+        self.alloc[i] = AllocPhase::Contend;
+        self.stalled[i] = false;
+        self.last_progress[i] = self.cycle;
+        MsgId(idx)
     }
 
     #[inline]
@@ -714,7 +778,7 @@ impl<S: Sink> Simulator<S> {
         let mut seen = 0usize;
         for &id in &self.active {
             let m = &self.msgs[id as usize];
-            if !m.alive {
+            if !self.alive[id as usize] {
                 continue;
             }
             for e in &m.path {
@@ -775,7 +839,7 @@ impl<S: Sink> Simulator<S> {
         let mesh = self.ctx.mesh();
         for &(_, id) in &self.backoff {
             let m = &self.msgs[id as usize];
-            assert!(m.alive, "dead message in backoff");
+            assert!(self.alive[id as usize], "dead message in backoff");
             assert!(m.path.is_empty(), "backoff message still holds VCs");
             assert_eq!(
                 m.at_source, m.length,
@@ -807,13 +871,13 @@ impl<S: Sink> Simulator<S> {
         // additionally rely on wake lists / recheck / watchdog to wake).
         for &id in &self.active {
             let m = &self.msgs[id as usize];
-            if !m.alive {
+            if !self.alive[id as usize] {
                 continue;
             }
             let routable = m.path.is_empty() || m.header_at_head();
             if routable && self.head_node(m) != m.dest {
                 assert_ne!(
-                    m.alloc,
+                    self.alloc[id as usize],
                     AllocPhase::Moving,
                     "routable header stuck in the Moving phase"
                 );
@@ -829,7 +893,7 @@ impl<S: Sink> Simulator<S> {
                 if self.slots[key].is_some() {
                     expect_occ |= 1 << vc;
                 }
-                if !self.waiters[key].is_empty() {
+                if !self.waiters.is_empty(key as u32) {
                     expect_wait |= 1 << vc;
                 }
             }
@@ -945,14 +1009,18 @@ impl<S: Sink> Simulator<S> {
         }
         self.order = order;
 
-        // 6. Watchdog.
+        // 6. Watchdog — a linear scan over the dense last-progress array.
         let timeout = self.cfg.deadlock_timeout;
+        let cycle = self.cycle;
         let mut stuck = std::mem::take(&mut self.stuck_scratch);
         stuck.clear();
-        stuck.extend(self.active.iter().copied().filter(|&id| {
-            let m = &self.msgs[id as usize];
-            m.alive && self.cycle.saturating_sub(m.last_progress) > timeout
-        }));
+        {
+            let alive = &self.alive;
+            let last_progress = &self.last_progress;
+            stuck.extend(self.active.iter().copied().filter(|&id| {
+                alive[id as usize] && cycle.saturating_sub(last_progress[id as usize]) > timeout
+            }));
+        }
         for &id in &stuck {
             self.recover(id);
         }
@@ -966,10 +1034,10 @@ impl<S: Sink> Simulator<S> {
             self.vc_usage.tick();
             self.node_load.tick();
         }
-        let msgs = &self.msgs;
-        self.active.retain(|&id| msgs[id as usize].alive);
+        let alive = &self.alive;
+        self.active.retain(|&id| alive[id as usize]);
         if oldest_first {
-            self.ordered.retain(|&id| msgs[id as usize].alive);
+            self.ordered.retain(|&id| alive[id as usize]);
         }
 
         // 8. Delivered-rate window + settling detection (chaos runs only).
@@ -1081,26 +1149,26 @@ impl<S: Sink> Simulator<S> {
     /// failed, the RNG stream — and thus the whole simulation — is
     /// byte-identical to re-routing every blocked header every cycle.
     fn try_allocate(&mut self, id: u32) {
-        let m = &self.msgs[id as usize];
-        if !m.alive {
+        let i = id as usize;
+        if !self.alive[i] {
             return;
         }
-        match m.alloc {
+        match self.alloc[i] {
             AllocPhase::Moving => return,
             AllocPhase::Blocked => {
                 // Fall through to a full attempt only when `route` must see
                 // exactly the threshold wait count (the widened attempt the
                 // always-retry loop would have made); otherwise just keep
                 // the wait counter ticking as that loop did.
-                if Some(m.state.wait_cycles) != self.recheck_wait {
-                    self.msgs[id as usize].state.wait_cycles += 1;
+                if Some(self.msgs[i].state.wait_cycles) != self.recheck_wait {
+                    self.msgs[i].state.wait_cycles += 1;
                     self.blocked_this_cycle += 1;
                     return;
                 }
             }
             AllocPhase::Contend => {}
         }
-        let m = &self.msgs[id as usize];
+        let m = &self.msgs[i];
         // Routable: header at source (path empty, owning the injection
         // port) or header buffered at the last held VC's downstream node.
         let at_source = m.path.is_empty();
@@ -1163,10 +1231,7 @@ impl<S: Sink> Simulator<S> {
             // `Contend`.) Dedup on push bounds each list by the number of
             // live contenders, keeping steady-state pushes allocation-free.
             for &key in &busy {
-                let list = &mut self.waiters[key as usize];
-                if !list.contains(&id) {
-                    list.push(id);
-                }
+                self.waiters.register(key, id);
                 self.waiter_mask[(key / self.num_vcs as u32) as usize] |=
                     1 << (key % self.num_vcs as u32);
             }
@@ -1178,9 +1243,8 @@ impl<S: Sink> Simulator<S> {
                 self.sink
                     .record(TraceEvent::new(self.cycle, EventKind::Block, id).at(head.0));
             }
-            let m = &mut self.msgs[id as usize];
-            m.state = state;
-            m.alloc = AllocPhase::Blocked;
+            self.msgs[i].state = state;
+            self.alloc[i] = AllocPhase::Blocked;
             return;
         }
         let &(key, vc) = eligible.choose(&mut self.rng).expect("non-empty");
@@ -1206,15 +1270,15 @@ impl<S: Sink> Simulator<S> {
         if let Some(rt) = self.shard_rt.as_deref_mut() {
             // Footprint growth: fold the new channel, its downstream node,
             // and the previous head channel into one movement cluster.
-            let prev_ch = self.msgs[id as usize].path.back().map(|e| e.ch);
+            let prev_ch = self.msgs[i].path.back().map(|e| e.ch);
             rt.note_allocation(ch.0, next.index(), prev_ch);
         }
-        let m = &mut self.msgs[id as usize];
-        m.state = state;
-        m.alloc = AllocPhase::Moving;
+        self.alloc[i] = AllocPhase::Moving;
         // The path grew: the header can advance into the fresh (empty) VC
         // buffer, so any movement stall is over.
-        m.stalled = false;
+        self.stalled[i] = false;
+        let m = &mut self.msgs[i];
+        m.state = state;
         m.path.push_back(PathEntry {
             key,
             ch: ch.0,
@@ -1252,44 +1316,44 @@ impl<S: Sink> Simulator<S> {
         }
         self.waiter_mask[ch as usize] &= !(1 << vc);
         let cycle = self.cycle;
-        let list = &mut self.waiters[key as usize];
-        debug_assert!(!list.is_empty(), "wake flag set on an empty list");
-        for &wid in list.iter() {
-            let wm = &mut self.msgs[wid as usize];
-            if wm.alive && wm.alloc == AllocPhase::Blocked {
-                wm.alloc = AllocPhase::Contend;
+        debug_assert!(
+            !self.waiters.is_empty(key),
+            "wake flag set on an empty list"
+        );
+        for wid in self.waiters.iter(key) {
+            let wi = wid as usize;
+            if self.alive[wi] && self.alloc[wi] == AllocPhase::Blocked {
+                self.alloc[wi] = AllocPhase::Contend;
                 if S::ENABLED {
                     self.sink
                         .record(TraceEvent::new(cycle, EventKind::Wake, wid).on(ch, vc));
                 }
             }
         }
-        list.clear();
+        // Iteration done: splice the whole list back onto the free chain.
+        self.waiters.release(key);
     }
 
     /// Advance the message's flit pipeline by up to one flit per held link.
     fn move_flits(&mut self, id: u32, measuring: bool) {
         let depth = self.cfg.buffer_depth;
         let stamp = self.cycle + 1;
-        {
-            let m = &self.msgs[id as usize];
-            if !m.alive || m.path.is_empty() {
-                return;
-            }
-            // A stalled wormhole (checked below after each movement pass)
-            // cannot move any flit until its own state changes, and it
-            // would not have marked `link_used`/`eject_used` either, so
-            // skipping it is byte-identical to walking its path again.
-            if m.stalled {
-                return;
-            }
+        let i = id as usize;
+        // A stalled wormhole (checked below after each movement pass)
+        // cannot move any flit until its own state changes, and it
+        // would not have marked `link_used`/`eject_used` either, so
+        // skipping it is byte-identical to walking its path again. Both
+        // skip flags are dense-array loads; the `Msg` record is only
+        // touched once a message actually has movement work.
+        if !self.alive[i] || self.stalled[i] || self.msgs[i].path.is_empty() {
+            return;
         }
         // Slot keys freed below (tail drains, completion) collect into the
         // reusable scratch so their wake lists can drain once the message
         // borrow ends.
         let mut freed = std::mem::take(&mut self.freed_scratch);
         freed.clear();
-        let m = &mut self.msgs[id as usize];
+        let m = &mut self.msgs[i];
         let mut progressed = false;
 
         // Work on a contiguous slice: the pipeline loop indexes entry
@@ -1339,7 +1403,7 @@ impl<S: Sink> Simulator<S> {
                     // The header flit just reached the head VC's buffer:
                     // routable from the next allocation pass on (unless it
                     // arrived home, where ejection takes over).
-                    m.alloc = if cur.dest == m.dest {
+                    self.alloc[i] = if cur.dest == m.dest {
                         AllocPhase::Moving
                     } else {
                         AllocPhase::Contend
@@ -1380,7 +1444,7 @@ impl<S: Sink> Simulator<S> {
                 if path.len() == 1 && path[0].entered == 1 {
                     // Header injected straight into the head VC (single-hop
                     // path so far): routable next pass unless already home.
-                    m.alloc = if first.dest == m.dest {
+                    self.alloc[i] = if first.dest == m.dest {
                         AllocPhase::Moving
                     } else {
                         AllocPhase::Contend
@@ -1400,7 +1464,7 @@ impl<S: Sink> Simulator<S> {
         }
 
         if progressed {
-            m.last_progress = self.cycle;
+            self.last_progress[i] = self.cycle;
         } else {
             // Stall detection (only worth deciding when nothing moved —
             // a message that just moved re-scans next cycle anyway). Each
@@ -1424,7 +1488,7 @@ impl<S: Sink> Simulator<S> {
                     }
                 }
             }
-            m.stalled = !movable;
+            self.stalled[i] = !movable;
         }
 
         // Release drained tail VCs (the tail flit has passed through).
@@ -1450,7 +1514,7 @@ impl<S: Sink> Simulator<S> {
                 freed.push(e.key);
             }
             m.path.clear();
-            m.alive = false;
+            self.alive[i] = false;
             if S::ENABLED {
                 self.sink
                     .record(TraceEvent::new(self.cycle, EventKind::Deliver, id).at(m.dest.0));
@@ -1495,26 +1559,61 @@ impl<S: Sink> Simulator<S> {
     }
 
     /// Phase 5 on the worker pool: partition the service order into
-    /// footprint-disjoint shards (movement clusters banded by mesh
-    /// column), move each shard's messages in rank order concurrently,
-    /// then replay the deferred global effects in rank order. Produces
-    /// byte-identical state to the sequential loop — see `crate::shard`
-    /// for the full argument.
+    /// footprint-disjoint shards (contiguous union-find index ranges),
+    /// move each shard's messages in rank order concurrently, then replay
+    /// the deferred global effects in rank order. Produces byte-identical
+    /// state to the sequential loop — see `crate::shard` for the full
+    /// argument.
+    ///
+    /// Two sequential fast paths keep `shards > 1` from ever costing more
+    /// than `shards = 1`:
+    /// - On a single-core host (unless [`Simulator::force_parallel_movement`]
+    ///   is set) the pool cannot help, so the plain sequential loop runs —
+    ///   which *is* the oracle, so equivalence is definitional.
+    /// - When the partition lands every movable message in one cluster,
+    ///   that shard's rank-sorted list is exactly the movable subsequence
+    ///   of the service order; running it inline skips the pool handshake
+    ///   and the deferred-effect replay entirely.
     fn move_flits_sharded(&mut self, order: &[u32], measuring: bool) {
         let mut rt = self
             .shard_rt
             .take()
             .expect("sharded movement requires a shard runtime");
-        if self.cycle.is_multiple_of(REBUILD_PERIOD) {
-            // Shed stale cluster merges (releases never split clusters
-            // incrementally); pure performance state, never observable.
-            rt.rebuild(&self.active, &self.msgs);
+        if !self.force_parallel && !rt.multicore() {
+            for &id in order {
+                self.move_flits(id, measuring);
+            }
+            self.shard_rt = Some(rt);
+            return;
         }
-        rt.partition(order, &self.msgs);
-        if rt.lists.iter().any(|l| !l.is_empty()) {
+        if rt.should_rebuild() {
+            // Shed stale cluster merges (releases never split clusters
+            // incrementally); pure performance state, never observable —
+            // triggered by the release volume since the last rebuild
+            // instead of a fixed cycle period.
+            rt.rebuild(&self.active, &self.msgs, &self.alive);
+        }
+        rt.partition(order, &self.msgs, &self.alive);
+        let busy = rt.lists.iter().filter(|l| !l.is_empty()).count();
+        if busy == 1 {
+            let li = rt
+                .lists
+                .iter()
+                .position(|l| !l.is_empty())
+                .expect("one non-empty list");
+            let list = std::mem::take(&mut rt.lists[li]);
+            for &(_, id) in &list {
+                self.move_flits(id, measuring);
+            }
+            rt.lists[li] = list;
+        } else if busy > 1 {
             let shards = rt.lists.len();
             let arena = MoveArena {
                 msgs: SyncPtr(self.msgs.as_mut_ptr()),
+                alive: SyncPtr(self.alive.as_mut_ptr()),
+                alloc: SyncPtr(self.alloc.as_mut_ptr()),
+                stalled: SyncPtr(self.stalled.as_mut_ptr()),
+                last_progress: SyncPtr(self.last_progress.as_mut_ptr()),
                 slots: SyncPtr(self.slots.as_mut_ptr()),
                 occ_mask: SyncPtr(self.occ_mask.as_mut_ptr()),
                 link_used: SyncPtr(self.link_used.as_mut_ptr()),
@@ -1548,11 +1647,17 @@ impl<S: Sink> Simulator<S> {
     }
 
     /// Replay one sharded cycle's deferred global effects in the exact
-    /// order the sequential loop would have produced them.
+    /// order the sequential loop would have produced them. Each effect
+    /// kind is first merged (rank order, run-copying k-way merge) into the
+    /// runtime's preallocated batch buffer, then replayed with a plain
+    /// index walk — the merge is a memcpy-like pass, not a per-item scan
+    /// over every shard.
     fn apply_shard_effects(&mut self, rt: &mut ShardRuntime, measuring: bool) {
         let mut delivered = 0u32;
+        let mut released = 0u64;
         for s in &rt.scratch {
             delivered += s.delivered;
+            released += s.freed.len() as u64;
             for (vc, &n) in s.vc_released.iter().enumerate() {
                 if n > 0 {
                     self.vc_usage.release_n(vc as u8, n);
@@ -1560,11 +1665,17 @@ impl<S: Sink> Simulator<S> {
             }
         }
         self.delivered_this_cycle += delivered;
-        rt.drain_ranked(
-            |s| &s.completions,
-            |id| self.finish_completion(id, measuring),
-        );
-        rt.drain_ranked(|s| &s.freed, |key| self.wake_waiters(key));
+        rt.note_releases(released);
+        rt.merge_ranked(|s| &s.completions);
+        for k in 0..rt.merged.len() {
+            let id = rt.merged[k];
+            self.finish_completion(id, measuring);
+        }
+        rt.merge_ranked(|s| &s.freed);
+        for k in 0..rt.merged.len() {
+            let key = rt.merged[k];
+            self.wake_waiters(key);
+        }
     }
 
     /// Drain every activation the installed fault driver has due.
@@ -1638,7 +1749,7 @@ impl<S: Sink> Simulator<S> {
         let snapshot: Vec<u32> = self.active.clone();
         for &id in &snapshot {
             let m = &self.msgs[id as usize];
-            if !m.alive {
+            if !self.alive[id as usize] {
                 continue;
             }
             let src_dead = newly[m.src.index()];
@@ -1670,7 +1781,7 @@ impl<S: Sink> Simulator<S> {
             if newly[node] {
                 // The source died with its whole queue.
                 for id in q {
-                    self.msgs[id as usize].alive = false;
+                    self.alive[id as usize] = false;
                     self.free_list.push(id);
                     self.recovery.as_mut().expect("stats exist").record_lost(ev);
                 }
@@ -1683,7 +1794,7 @@ impl<S: Sink> Simulator<S> {
                     (m.src, m.dest)
                 };
                 if newly[dest.index()] {
-                    self.msgs[id as usize].alive = false;
+                    self.alive[id as usize] = false;
                     self.free_list.push(id);
                     self.recovery.as_mut().expect("stats exist").record_lost(ev);
                 } else {
@@ -1708,7 +1819,7 @@ impl<S: Sink> Simulator<S> {
                 (m.src, m.dest)
             };
             if newly[src.index()] || newly[dest.index()] {
-                self.msgs[id as usize].alive = false;
+                self.alive[id as usize] = false;
                 self.msgs[id as usize].abort_tag = None;
                 self.free_list.push(id);
                 self.recovery.as_mut().expect("stats exist").record_lost(ev);
@@ -1723,15 +1834,15 @@ impl<S: Sink> Simulator<S> {
         // stale entry would double-route them.
         let in_backoff: std::collections::HashSet<u32> =
             self.backoff.iter().map(|&(_, id)| id).collect();
-        let msgs = &self.msgs;
+        let alive = &self.alive;
         self.active
-            .retain(|&id| msgs[id as usize].alive && !in_backoff.contains(&id));
+            .retain(|&id| alive[id as usize] && !in_backoff.contains(&id));
         if matches!(
             self.cfg.arbitration,
             crate::config::Arbitration::OldestFirst
         ) {
             self.ordered
-                .retain(|&id| msgs[id as usize].alive && !in_backoff.contains(&id));
+                .retain(|&id| alive[id as usize] && !in_backoff.contains(&id));
         }
 
         // The context/algorithm swap invalidated every cached routing
@@ -1740,12 +1851,10 @@ impl<S: Sink> Simulator<S> {
         // is stale. The new algorithm may also widen at a different wait
         // threshold.
         self.recheck_wait = self.algo.recheck_wait();
-        for list in &mut self.waiters {
-            list.clear();
-        }
+        self.waiters.clear_all();
         self.waiter_mask.iter_mut().for_each(|m| *m = 0);
         for &id in &self.active {
-            self.msgs[id as usize].alloc = AllocPhase::Contend;
+            self.alloc[id as usize] = AllocPhase::Contend;
         }
     }
 
@@ -1764,13 +1873,16 @@ impl<S: Sink> Simulator<S> {
             freed.push(e.key);
         }
         m.path.clear();
-        m.alive = false;
+        self.alive[id as usize] = false;
         m.abort_tag = None;
         let src = m.src;
         if self.injecting[src.index()] == Some(id) {
             self.injecting[src.index()] = None;
         }
         self.free_list.push(id);
+        if let Some(rt) = self.shard_rt.as_deref_mut() {
+            rt.note_releases(freed.len() as u64);
+        }
         for &key in &freed {
             self.wake_waiters(key);
         }
@@ -1796,13 +1908,16 @@ impl<S: Sink> Simulator<S> {
             m.at_source = m.length;
             m.delivered = 0;
             m.first_injected = None;
-            m.last_progress = self.cycle;
+            self.last_progress[id as usize] = self.cycle;
             m.chaos_aborts += 1;
             m.abort_tag = Some((ev as u32, self.cycle));
-            m.alloc = AllocPhase::Contend;
-            m.stalled = false;
+            self.alloc[id as usize] = AllocPhase::Contend;
+            self.stalled[id as usize] = false;
             (m.src, m.dest)
         };
+        if let Some(rt) = self.shard_rt.as_deref_mut() {
+            rt.note_releases(freed.len() as u64);
+        }
         for &key in &freed {
             self.wake_waiters(key);
         }
@@ -1875,11 +1990,14 @@ impl<S: Sink> Simulator<S> {
             m.at_source = m.length;
             m.delivered = 0;
             m.first_injected = None;
-            m.last_progress = self.cycle;
+            self.last_progress[id as usize] = self.cycle;
             m.recoveries += 1;
-            m.alloc = AllocPhase::Contend;
-            m.stalled = false;
+            self.alloc[id as usize] = AllocPhase::Contend;
+            self.stalled[id as usize] = false;
             src = m.src;
+        }
+        if let Some(rt) = self.shard_rt.as_deref_mut() {
+            rt.note_releases(freed.len() as u64);
         }
         for &key in &freed {
             self.wake_waiters(key);
@@ -1897,7 +2015,7 @@ impl<S: Sink> Simulator<S> {
                     // Port busy with another message: requeue this one.
                     self.queues[src.index()].push_front(id);
                     // Remove from active; re-promoted later.
-                    self.msgs[id as usize].alive = true;
+                    self.alive[id as usize] = true;
                     self.active.retain(|&x| x != id);
                     self.ordered.retain(|&x| x != id);
                     return;
@@ -1937,8 +2055,8 @@ impl<S: Sink> Simulator<S> {
             .active
             .iter()
             .filter(|&&id| {
-                let m = &self.msgs[id as usize];
-                m.alive && m.alloc == AllocPhase::Blocked
+                let i = id as usize;
+                self.alive[i] && self.alloc[i] == AllocPhase::Blocked
             })
             .count();
         let focus = focus.map(|id| self.stall_message(id.0));
@@ -1952,10 +2070,10 @@ impl<S: Sink> Simulator<S> {
             // Freed but not yet drained: its sleepers are about to wake.
             return;
         };
-        for &waiter in &self.waiters[key as usize] {
-            let wm = &self.msgs[waiter as usize];
+        for waiter in self.waiters.iter(key) {
+            let wi = waiter as usize;
             // Stale entries (moved on, died, recycled) are not waiting.
-            if wm.alive && wm.alloc == AllocPhase::Blocked {
+            if self.alive[wi] && self.alloc[wi] == AllocPhase::Blocked {
                 edges.push(WaitEdge {
                     waiter,
                     channel,
@@ -1985,6 +2103,114 @@ impl<S: Sink> Simulator<S> {
             recoveries: m.recoveries,
             holds: m.path.iter().map(|e| (e.ch, e.vc)).collect(),
         }
+    }
+
+    /// Test/bench hook: run the pooled sharded-movement path even on a
+    /// single-core host, where `shards > 1` otherwise takes the inline
+    /// sequential fast path. Lets equivalence suites exercise the
+    /// worker-pool partition/merge machinery deterministically anywhere.
+    #[doc(hidden)]
+    pub fn force_parallel_movement(&mut self, on: bool) {
+        self.force_parallel = on;
+    }
+
+    /// Test support: audit the struct-of-arrays hot-flag buffers against
+    /// the structures they were split from. Reconstructs the legacy
+    /// per-message view — liveness from slab free-list membership, the
+    /// allocation phase from held VCs and wake-list registrations — and
+    /// asserts the flat arrays agree. Panics on any divergence.
+    #[doc(hidden)]
+    pub fn check_soa_layout(&self) {
+        let n = self.msgs.len();
+        assert_eq!(self.alive.len(), n, "alive[] not slab-length");
+        assert_eq!(self.alloc.len(), n, "alloc[] not slab-length");
+        assert_eq!(self.stalled.len(), n, "stalled[] not slab-length");
+        assert_eq!(
+            self.last_progress.len(),
+            n,
+            "last_progress[] not slab-length"
+        );
+        // Legacy `msg.alive = false` ⟺ the slot is recyclable: every
+        // free-list member must read dead and hold no VCs.
+        for &id in &self.free_list {
+            let i = id as usize;
+            assert!(!self.alive[i], "free slab slot {id} marked alive");
+            assert!(
+                self.msgs[i].path.is_empty(),
+                "free slab slot {id} still holds VCs"
+            );
+        }
+        // Legacy `msg.alloc == Moving` while the header sits routable at
+        // the head VC only happens for ejecting messages; conversely a
+        // Blocked header can never be flagged stalled-in-movement (the
+        // movement pass clears `stalled` when it parks the header).
+        for &id in &self.active {
+            let i = id as usize;
+            if !self.alive[i] {
+                continue;
+            }
+            let m = &self.msgs[i];
+            assert!(
+                self.last_progress[i] <= self.cycle,
+                "msg {id} progressed in the future"
+            );
+            if self.alloc[i] == AllocPhase::Blocked {
+                assert!(
+                    !m.header_at_head() || !m.is_complete(),
+                    "msg {id} blocked after completion"
+                );
+            }
+            if m.path.is_empty() && m.at_source == m.length {
+                // Nothing launched yet: a header that has never entered
+                // the network cannot be movement-stalled.
+                assert!(!self.stalled[i], "unlaunched msg {id} marked stalled");
+            }
+        }
+        // Every live wake-list registration indexes a real slab slot.
+        for key in 0..self.slots.len() {
+            for wid in self.waiters.iter(key as u32) {
+                assert!((wid as usize) < n, "wake list {key} names ghost msg {wid}");
+            }
+        }
+    }
+
+    /// Test support: assert every flattened buffer is fully rewound — the
+    /// state a fresh simulator would have. Meant to be called right after
+    /// [`Simulator::reset`] on a warm (previously run) instance to prove
+    /// reuse leaks no stale occupancy bits, liveness flags, or wake-list
+    /// nodes into the next run.
+    #[doc(hidden)]
+    pub fn assert_rewound(&self) {
+        assert!(self.active.is_empty(), "active set survived reset");
+        assert_eq!(
+            self.free_list.len(),
+            self.msgs.len(),
+            "some slab slots not parked on the free list"
+        );
+        assert!(self.alive.iter().all(|&a| !a), "stale liveness bits");
+        assert!(self.stalled.iter().all(|&s| !s), "stale stall bits");
+        assert!(
+            self.last_progress.iter().all(|&c| c == 0),
+            "stale watchdog stamps"
+        );
+        assert!(
+            self.msgs.iter().all(|m| m.path.is_empty()),
+            "parked message still holds VCs"
+        );
+        assert_eq!(
+            self.waiters.live_nodes(),
+            0,
+            "wake-list nodes survived reset"
+        );
+        assert!(self.slots.iter().all(|s| s.is_none()), "stale slot owners");
+        assert!(
+            self.occ_mask.iter().all(|&m| m == 0),
+            "stale occupancy bits"
+        );
+        assert!(
+            self.waiter_mask.iter().all(|&m| m == 0),
+            "stale waiter bits"
+        );
     }
 }
 
@@ -2650,11 +2876,11 @@ mod tests {
         let keys = [0u32, 1, 2];
         for i in 0..3 {
             let holder = ids[(i + 1) % 3];
-            sim.msgs[ids[i] as usize].alloc = AllocPhase::Blocked;
+            sim.alloc[ids[i] as usize] = AllocPhase::Blocked;
             sim.slots[keys[i] as usize] = Some(holder);
             sim.occ_mask[(keys[i] / sim.num_vcs as u32) as usize] |=
                 1 << (keys[i] % sim.num_vcs as u32);
-            sim.waiters[keys[i] as usize].push(ids[i]);
+            sim.waiters.register(keys[i], ids[i]);
             sim.waiter_mask[(keys[i] / sim.num_vcs as u32) as usize] |=
                 1 << (keys[i] % sim.num_vcs as u32);
         }
@@ -2673,7 +2899,7 @@ mod tests {
         for &key in &keys {
             sim.slots[key as usize] = None;
             sim.occ_mask[(key / sim.num_vcs as u32) as usize] &= !(1 << (key % sim.num_vcs as u32));
-            sim.waiters[key as usize].clear();
+            sim.waiters.release(key);
             sim.waiter_mask[(key / sim.num_vcs as u32) as usize] &=
                 !(1 << (key % sim.num_vcs as u32));
         }

@@ -1,0 +1,218 @@
+//! Flat wake-list storage: every per-VC-slot wake list lives in one
+//! shared arena of singly-linked nodes instead of a `Vec<Vec<u32>>`.
+//!
+//! The old layout paid one heap allocation per slot that ever had a
+//! waiter and scattered the list headers (24 bytes each) across the
+//! address space; with `num_channel_slots × num_vcs` slots on a 64×64
+//! mesh that is ~400k `Vec` headers of mostly-empty lists. Here a slot is
+//! two `u32`s (`head`/`tail` indices into the arena, `NONE` when empty),
+//! so the release path's emptiness probe is a dense-array load, and
+//! draining a whole list is an O(1) splice onto the free chain.
+//!
+//! Ordering contract: iteration yields waiters in insertion order — the
+//! wake pass re-arms blocked headers in exactly the sequence the old
+//! per-slot `Vec` produced, which the byte-identity discipline depends
+//! on.
+
+/// Sentinel index for "no node" (list ends, empty slots, empty free
+/// chain).
+const NONE: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct WaiterNode {
+    msg: u32,
+    next: u32,
+}
+
+/// All wake lists of one simulator, arena-backed. See the module docs.
+pub(crate) struct WaiterTable {
+    /// First arena node of each slot's list (`NONE` = empty).
+    head: Vec<u32>,
+    /// Last arena node of each slot's list (`NONE` = empty).
+    tail: Vec<u32>,
+    /// Shared node arena; freed nodes chain through `next`.
+    nodes: Vec<WaiterNode>,
+    /// Head of the free chain (`NONE` = exhausted; next register grows
+    /// the arena).
+    free: u32,
+}
+
+impl WaiterTable {
+    pub fn new() -> Self {
+        WaiterTable {
+            head: Vec::new(),
+            tail: Vec::new(),
+            nodes: Vec::new(),
+            free: NONE,
+        }
+    }
+
+    /// (Re)shape for `num_slots` VC slots and drop every list. The arena
+    /// keeps its capacity, so a same-shape reset performs no allocation.
+    pub fn reset(&mut self, num_slots: usize) {
+        self.head.resize(num_slots, NONE);
+        self.tail.resize(num_slots, NONE);
+        self.clear_all();
+    }
+
+    /// Drop every list without reshaping (fault activations invalidate
+    /// all registrations at once).
+    pub fn clear_all(&mut self) {
+        self.head.iter_mut().for_each(|h| *h = NONE);
+        self.tail.iter_mut().for_each(|t| *t = NONE);
+        self.nodes.clear();
+        self.free = NONE;
+    }
+
+    #[inline]
+    pub fn is_empty(&self, key: u32) -> bool {
+        self.head[key as usize] == NONE
+    }
+
+    /// Arena nodes currently on some list (0 after `reset`/`clear_all`;
+    /// used by the rewind audit).
+    pub fn live_nodes(&self) -> usize {
+        let mut on_free = 0usize;
+        let mut cur = self.free;
+        while cur != NONE {
+            on_free += 1;
+            cur = self.nodes[cur as usize].next;
+        }
+        self.nodes.len() - on_free
+    }
+
+    /// Pre-size the arena for `nodes` concurrent registrations.
+    pub fn reserve_nodes(&mut self, nodes: usize) {
+        if self.nodes.capacity() < nodes {
+            self.nodes.reserve(nodes - self.nodes.len());
+        }
+    }
+
+    /// Append `id` to `key`'s list unless already registered (same dedup
+    /// the per-slot `Vec` did with `contains`, bounding each list by the
+    /// number of live contenders).
+    pub fn register(&mut self, key: u32, id: u32) {
+        let mut cur = self.head[key as usize];
+        while cur != NONE {
+            let n = self.nodes[cur as usize];
+            if n.msg == id {
+                return;
+            }
+            cur = n.next;
+        }
+        let slot = if self.free != NONE {
+            let s = self.free;
+            self.free = self.nodes[s as usize].next;
+            self.nodes[s as usize] = WaiterNode {
+                msg: id,
+                next: NONE,
+            };
+            s
+        } else {
+            self.nodes.push(WaiterNode {
+                msg: id,
+                next: NONE,
+            });
+            (self.nodes.len() - 1) as u32
+        };
+        let t = self.tail[key as usize];
+        if t == NONE {
+            self.head[key as usize] = slot;
+        } else {
+            self.nodes[t as usize].next = slot;
+        }
+        self.tail[key as usize] = slot;
+    }
+
+    /// Iterate `key`'s waiters in insertion order.
+    #[inline]
+    pub fn iter(&self, key: u32) -> WaiterIter<'_> {
+        WaiterIter {
+            nodes: &self.nodes,
+            cur: self.head[key as usize],
+        }
+    }
+
+    /// Detach `key`'s whole list, returning its nodes to the free chain
+    /// in O(1) (one splice, no per-node walk).
+    pub fn release(&mut self, key: u32) {
+        let h = self.head[key as usize];
+        if h == NONE {
+            return;
+        }
+        let t = self.tail[key as usize];
+        self.nodes[t as usize].next = self.free;
+        self.free = h;
+        self.head[key as usize] = NONE;
+        self.tail[key as usize] = NONE;
+    }
+}
+
+pub(crate) struct WaiterIter<'a> {
+    nodes: &'a [WaiterNode],
+    cur: u32,
+}
+
+impl Iterator for WaiterIter<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.cur == NONE {
+            return None;
+        }
+        let n = self.nodes[self.cur as usize];
+        self.cur = n.next;
+        Some(n.msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insertion_order_and_dedup() {
+        let mut t = WaiterTable::new();
+        t.reset(4);
+        t.register(2, 10);
+        t.register(2, 11);
+        t.register(2, 10); // duplicate: dropped
+        t.register(0, 7);
+        assert_eq!(t.iter(2).collect::<Vec<_>>(), vec![10, 11]);
+        assert_eq!(t.iter(0).collect::<Vec<_>>(), vec![7]);
+        assert!(t.is_empty(1));
+        assert_eq!(t.live_nodes(), 3);
+    }
+
+    #[test]
+    fn release_recycles_nodes_without_growing_the_arena() {
+        let mut t = WaiterTable::new();
+        t.reset(2);
+        for id in 0..8 {
+            t.register(0, id);
+        }
+        t.release(0);
+        assert!(t.is_empty(0));
+        assert_eq!(t.live_nodes(), 0);
+        let cap = t.nodes.capacity();
+        for id in 20..28 {
+            t.register(1, id);
+        }
+        assert_eq!(t.nodes.capacity(), cap, "recycled nodes must be reused");
+        assert_eq!(t.iter(1).collect::<Vec<_>>(), (20..28).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reset_rewinds_every_list() {
+        let mut t = WaiterTable::new();
+        t.reset(3);
+        t.register(0, 1);
+        t.register(1, 2);
+        t.reset(3);
+        for k in 0..3 {
+            assert!(t.is_empty(k));
+        }
+        assert_eq!(t.live_nodes(), 0);
+    }
+}

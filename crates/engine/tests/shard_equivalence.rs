@@ -28,6 +28,10 @@ fn report_json(kind: AlgorithmKind, ctx: &Arc<RoutingContext>, cfg: SimConfig) -
     let mut wl = Workload::paper_uniform(0.01);
     wl.message_length = 20;
     let mut sim = Simulator::new(algo, ctx.clone(), wl, cfg);
+    // Exercise the pooled partition/merge machinery even on single-core
+    // CI runners, where sharded movement otherwise falls back to the
+    // inline sequential loop and the comparison would be vacuous.
+    sim.force_parallel_movement(true);
     let report = sim.run();
     sim.check_invariants();
     serde_json::to_string(&report).unwrap()
@@ -105,6 +109,7 @@ proptest! {
         let algo = build_algorithm(kind, ctx.clone(), VcConfig::paper());
         let sharded = {
             let mut sim = Simulator::new(algo, ctx, wl, cfg.with_shards(shards));
+            sim.force_parallel_movement(true);
             let report = sim.run();
             sim.check_invariants();
             serde_json::to_string(&report).unwrap()
@@ -143,6 +148,7 @@ fn reset_chains_across_shard_counts_match_the_oracle() {
         let warm = match reused.as_mut() {
             None => {
                 let mut sim = Simulator::new(algo, ctx.clone(), wl.clone(), cfg);
+                sim.force_parallel_movement(true);
                 let report = sim.run();
                 reused = Some(sim);
                 report

@@ -1,0 +1,176 @@
+//! Struct-of-arrays hot-state audits: after the per-message scan flags
+//! (liveness, allocation phase, movement stall, watchdog stamp) moved
+//! from `Msg` fields into the simulator's flat id-indexed buffers, these
+//! tests pin (a) that the flat view stays consistent with the structures
+//! it was split from under arbitrary step sequences across the
+//! algo × fault × arbitration × shards matrix, and (b) that warm `reset`
+//! reuse rewinds every flattened buffer completely — no stale occupancy
+//! bits, liveness flags, or wake-list nodes leak into the next run.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use wormsim_engine::{Arbitration, SimConfig, Simulator};
+use wormsim_fault::FaultPattern;
+use wormsim_routing::{build_algorithm, AlgorithmKind, RoutingContext, VcConfig};
+use wormsim_topology::Mesh;
+use wormsim_traffic::Workload;
+
+fn algorithms() -> [AlgorithmKind; 6] {
+    [
+        AlgorithmKind::PHop,
+        AlgorithmKind::Nbc,
+        AlgorithmKind::Duato,
+        AlgorithmKind::FullyAdaptive,
+        AlgorithmKind::BouraFaultTolerant,
+        AlgorithmKind::Xy,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random step sequences, then reconstruct the legacy per-message
+    /// view from the SoA arrays and assert agreement
+    /// (`Simulator::check_soa_layout`), interleaved at random audit
+    /// points so mid-flight states are covered, not just drained ones.
+    /// The sharded run (pooled path forced, so single-core hosts still
+    /// exercise the worker arena's SoA writes) must also keep producing
+    /// the sequential oracle's report byte for byte.
+    #[test]
+    fn soa_state_matches_legacy_layout(
+        seed in any::<u64>(),
+        algo_idx in 0usize..6,
+        faults in 0usize..=5,
+        rate_millis in 1u32..=8,
+        oldest_first in any::<bool>(),
+        shards in prop::sample::select(vec![1u16, 2, 4, 8]),
+        audits in prop::collection::vec(1usize..120, 1..5),
+    ) {
+        let mesh = Mesh::square(10);
+        let pattern = if faults == 0 {
+            FaultPattern::fault_free(&mesh)
+        } else {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            match wormsim_fault::random_pattern(&mesh, faults, &mut rng) {
+                Ok(p) => p,
+                Err(_) => return Ok(()),
+            }
+        };
+        let ctx = Arc::new(RoutingContext::new(mesh, pattern));
+        let cfg = SimConfig {
+            warmup_cycles: 50,
+            measure_cycles: 200,
+            seed,
+            arbitration: if oldest_first {
+                Arbitration::OldestFirst
+            } else {
+                Arbitration::Random
+            },
+            ..SimConfig::paper()
+        }
+        .with_shards(shards);
+        let kind = algorithms()[algo_idx];
+        let wl = Workload::paper_uniform(rate_millis as f64 / 1000.0);
+
+        let algo = build_algorithm(kind, ctx.clone(), VcConfig::paper());
+        let mut sim = Simulator::new(algo, ctx.clone(), wl.clone(), cfg);
+        sim.force_parallel_movement(true);
+        // Step exactly the schedule (matching the oracle's `run`),
+        // auditing the flat buffers at the random interior points.
+        let mut stepped = 0u64;
+        for &n in &audits {
+            for _ in 0..(n as u64).min(cfg.total_cycles() - stepped) {
+                sim.step();
+                stepped += 1;
+            }
+            sim.check_soa_layout();
+            sim.check_invariants();
+        }
+        for _ in stepped..cfg.total_cycles() {
+            sim.step();
+        }
+        sim.check_soa_layout();
+        let sharded = serde_json::to_string(&sim.report()).unwrap();
+
+        let algo = build_algorithm(kind, ctx.clone(), VcConfig::paper());
+        let mut oracle = Simulator::new(algo, ctx, wl, cfg.with_shards(1));
+        let sequential = serde_json::to_string(&oracle.run()).unwrap();
+        oracle.check_soa_layout();
+        prop_assert_eq!(sequential, sharded, "shards={} diverged", shards);
+    }
+}
+
+/// Warm `reset` chains across meshes, algorithms, and shard counts must
+/// rewind every flattened buffer to the fresh-simulator state — audited
+/// after each reset (`Simulator::assert_rewound`) and proven
+/// non-vacuously by re-running: the reused instance keeps matching a
+/// fresh oracle after the audit passes.
+#[test]
+fn reset_chain_rewinds_flattened_buffers() {
+    let chain: [(usize, AlgorithmKind, u16, u64); 4] = [
+        (10, AlgorithmKind::Duato, 1, 7),
+        (6, AlgorithmKind::Nbc, 4, 21),
+        (10, AlgorithmKind::BouraFaultTolerant, 2, 35),
+        (8, AlgorithmKind::FullyAdaptive, 8, 49),
+    ];
+    let mut reused: Option<Simulator> = None;
+    for (side, kind, shards, seed) in chain {
+        let mesh = Mesh::square(side as u16);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pattern = wormsim_fault::random_pattern(&mesh, 2, &mut rng)
+            .unwrap_or_else(|_| FaultPattern::fault_free(&mesh));
+        let ctx = Arc::new(RoutingContext::new(mesh, pattern));
+        let cfg = SimConfig {
+            warmup_cycles: 50,
+            measure_cycles: 250,
+            ..SimConfig::paper()
+        }
+        .with_seed(seed)
+        .with_shards(shards);
+        let wl = Workload::paper_uniform(0.006);
+        let algo = build_algorithm(kind, ctx.clone(), VcConfig::paper());
+        let warm = match reused.as_mut() {
+            None => {
+                let mut sim = Simulator::new(algo, ctx.clone(), wl.clone(), cfg);
+                sim.force_parallel_movement(true);
+                let report = sim.run();
+                reused = Some(sim);
+                report
+            }
+            Some(sim) => {
+                sim.reset(algo, ctx.clone(), wl.clone(), cfg);
+                // The reset must have fully rewound the flat buffers
+                // *before* any new traffic runs.
+                sim.assert_rewound();
+                let report = sim.run();
+                sim.check_soa_layout();
+                report
+            }
+        };
+        let algo = build_algorithm(kind, ctx.clone(), VcConfig::paper());
+        let fresh = Simulator::new(algo, ctx, wl, cfg.with_shards(1)).run();
+        assert_eq!(
+            serde_json::to_string(&warm).unwrap(),
+            serde_json::to_string(&fresh).unwrap(),
+            "{kind:?} at {side}x{side}/shards={shards} diverged after warm reset"
+        );
+    }
+    // Final rewind: the last run's population must also park cleanly.
+    let mut sim = reused.expect("chain ran");
+    let last = chain[chain.len() - 1];
+    let mesh = Mesh::square(last.0 as u16);
+    let ctx = Arc::new(RoutingContext::new(
+        mesh.clone(),
+        FaultPattern::fault_free(&mesh),
+    ));
+    let algo = build_algorithm(last.1, ctx.clone(), VcConfig::paper());
+    sim.reset(
+        algo,
+        ctx,
+        Workload::paper_uniform(0.001),
+        SimConfig::quick(),
+    );
+    sim.assert_rewound();
+}

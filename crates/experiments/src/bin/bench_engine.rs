@@ -138,6 +138,10 @@ struct BenchRecord {
     /// Sharded-engine section: one big-mesh simulation split across the
     /// worker pool vs the sequential path.
     shard: ShardRecord,
+    /// Shard-count scaling section: the full shard sweep
+    /// ({1, 2, 4, 8} × {10×10, 64×64}), every point fingerprint-checked
+    /// against its mesh's sequential oracle.
+    scaling: ScalingRecord,
 }
 
 #[derive(Serialize)]
@@ -167,6 +171,37 @@ struct ShardRecord {
     /// between the sequential and sharded passes before any timing is
     /// recorded, so the record never exists for a divergent engine.
     shard_fingerprint: String,
+}
+
+#[derive(Serialize)]
+struct ScalingRecord {
+    /// Physical cores visible when the record was made; speedups are only
+    /// meaningful alongside this.
+    cores: usize,
+    repeats: u32,
+    /// One point per (mesh, shard count) in sweep order. Every point's
+    /// fingerprint is asserted equal to its mesh's shards=1 point before
+    /// the record exists — through the *pooled* movement path (forced on
+    /// single-core hosts), so the equality is never vacuous.
+    points: Vec<ScalingPoint>,
+}
+
+#[derive(Serialize)]
+struct ScalingPoint {
+    mesh_size: u16,
+    shards: u16,
+    rate: f64,
+    warmup_cycles: u64,
+    measure_cycles: u64,
+    /// Best-of-repeats wall-clock for the schedule, natural movement path
+    /// (single-core hosts take the inline sequential fast path — that is
+    /// the shipping behavior being measured).
+    secs: f64,
+    cycles_per_sec: f64,
+    /// `cycles_per_sec` relative to this mesh's shards=1 point.
+    speedup: f64,
+    /// FNV-1a over the serialized `SimReport` of this point's run.
+    fingerprint: String,
 }
 
 #[derive(Serialize)]
@@ -205,7 +240,7 @@ struct RoutingDecisionRecord {
 fn usage() -> ! {
     eprintln!(
         "usage: bench_engine [--out PATH] [--dump-report PATH] [--repeats N] [--check BASELINE] \
-         [--sweep-only] [--shard-only]"
+         [--sweep-only] [--shard-only] [--scaling-only]"
     );
     std::process::exit(2);
 }
@@ -461,6 +496,117 @@ fn shard_bench(repeats: u32) -> ShardRecord {
     }
 }
 
+/// Meshes swept by the scaling section, with a per-mesh injection rate
+/// that keeps each busy without saturating the schedule.
+const SCALING_MESHES: [(u16, f64); 2] = [(10, 0.01), (64, 0.002)];
+/// Shard counts swept per mesh (1 is the sequential oracle).
+const SCALING_SHARDS: [u16; 4] = [1, 2, 4, 8];
+
+/// One scaling-section run at the given shard count on a reused
+/// simulator. `forced` runs the pooled movement path even on a
+/// single-core host (the untimed equivalence pass); timed passes leave
+/// it off and measure the shipping behavior.
+fn scaling_pass(
+    sim: &mut Simulator,
+    algo: &Arc<dyn wormsim_routing::RoutingAlgorithm>,
+    ctx: &Arc<RoutingContext>,
+    wl: &Workload,
+    cfg: SimConfig,
+    shards: u16,
+    forced: bool,
+) -> (f64, String) {
+    sim.reset(
+        algo.clone(),
+        ctx.clone(),
+        wl.clone(),
+        cfg.with_shards(shards),
+    );
+    sim.force_parallel_movement(forced);
+    let start = Instant::now();
+    for _ in 0..cfg.total_cycles() {
+        sim.step();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let json = serde_json::to_string(&sim.report()).expect("report serializes");
+    (secs, format!("{:016x}", fnv1a(json.as_bytes())))
+}
+
+/// The shard-count scaling sweep: for each mesh, a sequential oracle run
+/// (shards=1), then every swept shard count — first an untimed pass
+/// through the *forced* pooled path whose fingerprint must equal the
+/// oracle's (so the equivalence assertion exercises the partition/merge
+/// machinery even on one core), then best-of-`repeats` timed passes on
+/// the natural path.
+fn scaling_bench(repeats: u32) -> ScalingRecord {
+    let mut points = Vec::new();
+    for (mesh_size, rate) in SCALING_MESHES {
+        let mesh = Mesh::square(mesh_size);
+        let ctx = Arc::new(RoutingContext::new(
+            mesh.clone(),
+            FaultPattern::fault_free(&mesh),
+        ));
+        let algo: Arc<dyn wormsim_routing::RoutingAlgorithm> =
+            build_algorithm(AlgorithmKind::Duato, ctx.clone(), VcConfig::paper()).into();
+        let cfg = SimConfig {
+            warmup_cycles: 200,
+            measure_cycles: 600,
+            ..SimConfig::paper()
+        }
+        .with_seed(SEED);
+        let wl = Workload::paper_uniform(rate);
+        let mut sim = Simulator::new(algo.clone(), ctx.clone(), wl.clone(), cfg);
+        let mut oracle_fp: Option<String> = None;
+        let mut oracle_cps = 0.0f64;
+        for shards in SCALING_SHARDS {
+            // Equivalence before timing: no point exists for a divergent
+            // shard count. (At shards=1 this pass *defines* the oracle.)
+            let (_, fp) = scaling_pass(&mut sim, &algo, &ctx, &wl, cfg, shards, true);
+            match &oracle_fp {
+                None => oracle_fp = Some(fp.clone()),
+                Some(seq) => assert_eq!(
+                    &fp, seq,
+                    "{mesh_size}x{mesh_size} at shards={shards} diverged from the sequential oracle"
+                ),
+            }
+            let mut best = f64::INFINITY;
+            for _ in 0..repeats {
+                let (secs, timed_fp) = scaling_pass(&mut sim, &algo, &ctx, &wl, cfg, shards, false);
+                assert_eq!(
+                    &timed_fp,
+                    oracle_fp.as_ref().unwrap(),
+                    "timed pass diverged"
+                );
+                best = best.min(secs);
+            }
+            let cps = cfg.total_cycles() as f64 / best;
+            if shards == 1 {
+                oracle_cps = cps;
+            }
+            eprintln!(
+                "scaling {mesh_size}x{mesh_size} shards={shards}: {best:.3}s \
+                 ({cps:.0} cycles/sec, {:.2}x sequential)",
+                cps / oracle_cps
+            );
+            points.push(ScalingPoint {
+                mesh_size,
+                shards,
+                rate,
+                warmup_cycles: cfg.warmup_cycles,
+                measure_cycles: cfg.measure_cycles,
+                secs: best,
+                cycles_per_sec: cps,
+                speedup: cps / oracle_cps,
+                fingerprint: fp,
+            });
+        }
+    }
+    ScalingRecord {
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        repeats,
+        points,
+    }
+}
+
 /// One full paper-scale run, stepped in two phases so the allocation
 /// counter can bracket the measurement window. Returns the report, the
 /// wall-clock seconds for the whole schedule (warm-up included, matching
@@ -477,12 +623,12 @@ fn run_once() -> (SimReport, f64, u64) {
     let mut sim = Simulator::new(algo, ctx, Workload::paper_uniform(RATE), cfg);
     // Pre-size for the whole schedule's message population (the paper
     // config oversubscribes the network, so source queues grow for the
-    // entire run): expected creations plus generous Bernoulli slack, and
-    // path capacity comfortably above the 10×10 diameter. After this,
-    // the measurement window must not allocate at all.
+    // entire run): expected creations plus generous Bernoulli slack.
+    // Path capacity is derived from the mesh inside `prewarm`. After
+    // this, the measurement window must not allocate at all.
     let expected =
         (cfg.total_cycles() as f64 * f64::from(MESH_SIZE) * f64::from(MESH_SIZE) * RATE) as usize;
-    sim.prewarm(expected + expected / 4 + 1024, 32);
+    sim.prewarm(expected + expected / 4 + 1024);
     let start = Instant::now();
     for _ in 0..cfg.warmup_cycles {
         sim.step();
@@ -686,6 +832,109 @@ fn check_shard_against_baseline(shard: &ShardRecord, base: &serde_json::Value) {
     );
 }
 
+/// Gate the scaling section. Two layers:
+///
+/// - **Fingerprints** (always on): every swept shard count of a mesh must
+///   reproduce that mesh's shards=1 fingerprint, and each mesh's oracle
+///   fingerprint must match the baseline's — a baseline predating the
+///   section is a hard failure, same policy as the sweep gate.
+/// - **Speedup floors** (skipped under `WORMSIM_SKIP_PERF_GATE`):
+///   `shards > 1` must never fall below 0.95× its mesh's sequential
+///   throughput, and when the machine has ≥ 4 cores the 64×64 sweep must
+///   reach 1.5× at some shard count ≥ 4.
+fn check_scaling_against_baseline(scaling: &ScalingRecord, base: &serde_json::Value) {
+    let Some(base_scaling) = base.get("scaling") else {
+        eprintln!(
+            "PERF GATE FAILED: baseline has no scaling section, so the shard-sweep gate cannot \
+             run — regenerate the baseline (cargo run --release -p wormsim-experiments --bin \
+             bench_engine) and commit the new BENCH_engine.json"
+        );
+        std::process::exit(1);
+    };
+    // Per-mesh oracle fingerprints, then every-point equality.
+    let mut oracles: Vec<(u16, &str)> = Vec::new();
+    for p in &scaling.points {
+        if p.shards == 1 {
+            oracles.push((p.mesh_size, &p.fingerprint));
+        }
+    }
+    for p in &scaling.points {
+        let oracle = oracles
+            .iter()
+            .find(|(m, _)| *m == p.mesh_size)
+            .map(|(_, fp)| *fp)
+            .expect("every swept mesh has a shards=1 point");
+        if p.fingerprint != oracle {
+            eprintln!(
+                "PERF GATE FAILED: scaling {0}x{0} shards={1} fingerprint {2} != sequential \
+                 oracle {oracle}",
+                p.mesh_size, p.shards, p.fingerprint
+            );
+            std::process::exit(1);
+        }
+    }
+    // Baseline stability: the oracle results themselves must not drift.
+    if let Some(base_points) = base_scaling.get("points").and_then(|v| v.as_array()) {
+        for (mesh, fp) in &oracles {
+            let base_fp = base_points.iter().find_map(|bp| {
+                (bp.get("mesh_size").and_then(|v| v.as_u64()) == Some(*mesh as u64)
+                    && bp.get("shards").and_then(|v| v.as_u64()) == Some(1))
+                .then(|| bp.get("fingerprint").and_then(|v| v.as_str()))
+                .flatten()
+            });
+            if let Some(base_fp) = base_fp {
+                if base_fp != *fp {
+                    eprintln!(
+                        "PERF GATE FAILED: scaling {mesh}x{mesh} oracle fingerprint {fp} != \
+                         baseline {base_fp} — the change altered simulation results"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    if std::env::var_os("WORMSIM_SKIP_PERF_GATE").is_some() {
+        eprintln!(
+            "perf gate: scaling fingerprints OK ({} points); speedup floors skipped \
+             (WORMSIM_SKIP_PERF_GATE)",
+            scaling.points.len()
+        );
+        return;
+    }
+    for p in &scaling.points {
+        if p.shards > 1 && p.speedup < 0.95 {
+            eprintln!(
+                "PERF GATE FAILED: scaling {0}x{0} shards={1} runs at {2:.2}x sequential — \
+                 sharding must never cost more than 5% of the sequential path",
+                p.mesh_size, p.shards, p.speedup
+            );
+            std::process::exit(1);
+        }
+    }
+    if scaling.cores >= 4 {
+        let best_big = scaling
+            .points
+            .iter()
+            .filter(|p| p.mesh_size == 64 && p.shards >= 4)
+            .map(|p| p.speedup)
+            .fold(0.0f64, f64::max);
+        if best_big < 1.5 {
+            eprintln!(
+                "PERF GATE FAILED: 64x64 sharded peak speedup {best_big:.2}x < 1.5x on a \
+                 {}-core machine",
+                scaling.cores
+            );
+            std::process::exit(1);
+        }
+    }
+    eprintln!(
+        "perf gate: scaling OK — {} points, fingerprints equal per mesh, speedup floors hold \
+         on {} cores",
+        scaling.points.len(),
+        scaling.cores
+    );
+}
+
 /// Gate the fresh record against a committed baseline. The fingerprint
 /// must match exactly; cycles/sec must reach [`GATE_FLOOR`] of the
 /// baseline unless `WORMSIM_SKIP_PERF_GATE` is set.
@@ -717,6 +966,7 @@ fn check_against_baseline(record: &BenchRecord, path: &str) {
         );
         check_sweep_against_baseline(&record.sweep, &base);
         check_shard_against_baseline(&record.shard, &base);
+        check_scaling_against_baseline(&record.scaling, &base);
         return;
     }
     if record.cycles_per_sec < floor {
@@ -735,6 +985,7 @@ fn check_against_baseline(record: &BenchRecord, path: &str) {
     );
     check_sweep_against_baseline(&record.sweep, &base);
     check_shard_against_baseline(&record.shard, &base);
+    check_scaling_against_baseline(&record.scaling, &base);
 }
 
 fn main() {
@@ -744,6 +995,7 @@ fn main() {
     let mut repeats = 3u32;
     let mut sweep_only = false;
     let mut shard_only = false;
+    let mut scaling_only = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -753,6 +1005,7 @@ fn main() {
             "--check" => check = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "--sweep-only" => sweep_only = true,
             "--shard-only" => shard_only = true,
+            "--scaling-only" => scaling_only = true,
             "--repeats" => {
                 repeats = it
                     .next()
@@ -764,6 +1017,22 @@ fn main() {
         }
     }
     let repeats = repeats.max(1);
+
+    if scaling_only {
+        // CI smoke mode for the shard sweep: every swept shard count must
+        // reproduce its mesh's sequential oracle (through the forced
+        // pooled path), with the speedup floors skippable via
+        // WORMSIM_SKIP_PERF_GATE on single-core runners.
+        let scaling = scaling_bench(repeats);
+        if let Some(path) = &check {
+            check_scaling_against_baseline(&scaling, &load_baseline(path));
+        }
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&scaling).expect("scaling serializes")
+        );
+        return;
+    }
 
     if shard_only {
         // CI smoke mode for the sharded engine: byte-identity on the big
@@ -792,6 +1061,7 @@ fn main() {
         return;
     }
     let shard = shard_bench(repeats);
+    let scaling = scaling_bench(repeats);
 
     let cfg = SimConfig::paper();
     let mut best_secs = f64::INFINITY;
@@ -842,6 +1112,7 @@ fn main() {
         report_fingerprint: format!("{:016x}", fnv1a(report_json.as_bytes())),
         sweep,
         shard,
+        scaling,
     };
     if let Some(path) = &check {
         check_against_baseline(&record, path);

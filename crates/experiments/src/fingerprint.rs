@@ -62,5 +62,4 @@ mod tests {
         assert_eq!(fp.len(), 16);
         assert!(fp.chars().all(|c| c.is_ascii_hexdigit()));
     }
-
 }

@@ -97,9 +97,7 @@ fn run_reusing_sim(
 /// process into a `PoisonError` panic of its own — the cache's contents
 /// are rebuilt-on-miss memoization, always safe to keep using.
 fn cache_lock() -> MutexGuard<'static, ContextCache> {
-    shared_cache()
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
+    shared_cache().lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// Resolve the shared routing context and algorithm for a spec,

@@ -73,20 +73,6 @@ impl BoppanaChalasani {
                 && !self.ctx().healthy_minimal_directions(node, dest).is_empty())
     }
 
-    /// Enter ring mode for a message blocked at `node`. The complete entry
-    /// state — blocking region, ring position, message type, and the
-    /// geometric orientation choice (which scans the whole ring) — is a
-    /// pure function of `(node, dest, pattern)`, so a table-backed context
-    /// serves it as one lookup (see `wormsim_routing`'s `table` module for
-    /// the computation).
-    fn enter_ring(&self, node: NodeId, st: &mut MessageState) {
-        st.ring = Some(
-            self.ctx()
-                .ring_entry(node, st.dest)
-                .expect("blocked message must face a faulty region"),
-        );
-    }
-
     /// The single ring-mode candidate (the next ring hop on the type's BC
     /// VC), reversing at chain ends.
     fn ring_candidate(&self, node: NodeId, st: &mut MessageState) -> Candidates {
@@ -155,8 +141,16 @@ impl RoutingAlgorithm for BoppanaChalasani {
             if !out.is_empty() {
                 return out;
             }
-            if ctx.blocked_by_fault(node, st.dest) {
-                self.enter_ring(node, st);
+            // Enter ring mode if blocked. The complete entry state —
+            // blocking region, ring position, message type, and the
+            // geometric orientation choice (which scans the whole ring) —
+            // is a pure function of `(node, dest, pattern)`, so a
+            // table-backed context serves the blocked check and the entry
+            // as one fused index lookup (see `wormsim_routing`'s `table`
+            // module for the computation).
+            let (blocked, entry) = ctx.blocked_ring_entry(node, st.dest);
+            if blocked {
+                st.ring = Some(entry.expect("blocked message must face a faulty region"));
             } else {
                 // Base had nothing (e.g. waiting on misroute patience).
                 return out;

@@ -156,6 +156,26 @@ impl RoutingContext {
         }
     }
 
+    /// [`RoutingContext::blocked_by_fault`] and
+    /// [`RoutingContext::ring_entry`] in one call: a single fused
+    /// index computation on the table-backed path. The entry component is
+    /// `None` whenever the pair is not blocked.
+    #[inline]
+    pub fn blocked_ring_entry(&self, node: NodeId, dest: NodeId) -> (bool, Option<RingState>) {
+        match &self.table {
+            Some(t) => t.blocked_ring_entry(node, dest),
+            None => {
+                let blocked = table::compute_blocked(&self.mesh, &self.pattern, node, dest);
+                let entry = if blocked {
+                    table::compute_ring_entry(&self.mesh, &self.pattern, &self.rings, node, dest)
+                } else {
+                    None
+                };
+                (blocked, entry)
+            }
+        }
+    }
+
     /// Directions from `node` whose neighbor is fault-free and safe under
     /// the Boura–Das labeling.
     #[inline]

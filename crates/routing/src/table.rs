@@ -192,6 +192,17 @@ impl GeometryTable {
         self.ring_entry[node.index() * self.n + dest.index()]
     }
 
+    /// Fused lookup for the fault-blocked check and the ring-entry state
+    /// of one (node, dest) pair: the offset `node * n + dest` is computed
+    /// once and both dense arrays are read at that index. The hot caller
+    /// (ring-based routing's blocked → enter-ring sequence) otherwise
+    /// performs the multiply twice back to back.
+    #[inline]
+    pub fn blocked_ring_entry(&self, node: NodeId, dest: NodeId) -> (bool, Option<RingState>) {
+        let idx = node.index() * self.n + dest.index();
+        (self.pair[idx].blocked, self.ring_entry[idx])
+    }
+
     /// Directions from `node` with an in-mesh, fault-free neighbor.
     #[inline]
     pub fn healthy_dirs(&self, node: NodeId) -> DirectionSet {
@@ -522,6 +533,15 @@ mod tests {
                     direct.blocked_by_fault(node, dest),
                 );
                 assert_eq!(tabled.ring_entry(node, dest), direct.ring_entry(node, dest));
+                // The fused accessor must agree with its two components
+                // on both paths (its direct variant guards the entry
+                // computation behind the blocked check).
+                let fused = tabled.blocked_ring_entry(node, dest);
+                assert_eq!(fused, direct.blocked_ring_entry(node, dest));
+                assert_eq!(fused.0, tabled.blocked_by_fault(node, dest));
+                if fused.0 {
+                    assert_eq!(fused.1, tabled.ring_entry(node, dest));
+                }
             }
             assert_eq!(tabled.safe_directions(node), direct.safe_directions(node));
         }

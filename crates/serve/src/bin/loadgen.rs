@@ -103,6 +103,13 @@ fn spec_pool(seed: u64) -> Vec<WireSpec> {
             if i % 2 == 1 {
                 spec.faults = vec![Coord { x: 2, y: 3 }];
             }
+            // Half the pool runs sharded so the storm drives the
+            // engine's sharded movement path end to end. Reports are
+            // shard-count invariant, so `--verify`'s byte-comparison
+            // against direct runs is unaffected.
+            if j % 2 == 1 {
+                spec.shards = 4;
+            }
             pool.push(spec);
         }
     }
@@ -400,9 +407,11 @@ fn main() -> ExitCode {
         verified,
     ));
     progress.out(format_args!(
-        "server: jobs_run={} cache_hits={} dedup_joins={} config_rejects={} \
-         bad_spec_rejects={} integrity_drops={}",
+        "server: jobs_run={} (sharded={} max_shards={}) cache_hits={} dedup_joins={} \
+         config_rejects={} bad_spec_rejects={} integrity_drops={}",
         stats.jobs_run,
+        stats.sharded_jobs_run,
+        stats.max_job_shards,
         stats.cache_hits,
         stats.dedup_joins,
         stats.config_rejects,
@@ -437,6 +446,17 @@ fn main() -> ExitCode {
         check(
             t.errors.get("bad_spec").copied().unwrap_or(0) > 0,
             "malformed specs rejected as typed errors",
+        );
+        // The pool alternates shards 1/4, so a storm that cycles it must
+        // have executed sharded jobs — proof the service exercises the
+        // engine's sharded path, not just the sequential one.
+        check(
+            stats.sharded_jobs_run > 0,
+            "server executed jobs via the sharded engine path",
+        );
+        check(
+            stats.max_job_shards >= 4,
+            "sharded specs kept their requested shard count",
         );
     }
     if failed {

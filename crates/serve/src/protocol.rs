@@ -382,6 +382,13 @@ pub struct ServerStats {
     pub completed: u64,
     /// Simulations actually executed (dedup/cache avoid the rest).
     pub jobs_run: u64,
+    /// Executed simulations whose effective shard count (after the
+    /// mesh-width clamp) was above 1 — i.e. runs that took the engine's
+    /// sharded movement path rather than the sequential one.
+    pub sharded_jobs_run: u64,
+    /// Largest effective shard count any executed simulation ran with
+    /// (0 until a job executes; 1 while only sequential jobs have run).
+    pub max_job_shards: u64,
     /// Request items served straight from the result cache.
     pub cache_hits: u64,
     /// Request items attached to an identical in-flight job.

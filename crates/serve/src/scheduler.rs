@@ -143,6 +143,8 @@ struct Counters {
     requests: AtomicU64,
     completed: AtomicU64,
     jobs_run: AtomicU64,
+    sharded_jobs_run: AtomicU64,
+    max_job_shards: AtomicU64,
     cache_hits: AtomicU64,
     dedup_joins: AtomicU64,
     quota_rejects: AtomicU64,
@@ -398,6 +400,8 @@ impl Inner {
             requests: c.requests.load(Ordering::Relaxed),
             completed: c.completed.load(Ordering::Relaxed),
             jobs_run: c.jobs_run.load(Ordering::Relaxed),
+            sharded_jobs_run: c.sharded_jobs_run.load(Ordering::Relaxed),
+            max_job_shards: c.max_job_shards.load(Ordering::Relaxed),
             cache_hits: c.cache_hits.load(Ordering::Relaxed),
             dedup_joins: c.dedup_joins.load(Ordering::Relaxed),
             quota_rejects: c.quota_rejects.load(Ordering::Relaxed),
@@ -523,7 +527,9 @@ impl Inner {
             Ok((json, fp)) => {
                 let ok = *fp == report_json_fingerprint(json);
                 if !ok {
-                    self.counters.integrity_drops.fetch_add(1, Ordering::Relaxed);
+                    self.counters
+                        .integrity_drops
+                        .fetch_add(1, Ordering::Relaxed);
                 }
                 ok
             }
@@ -610,6 +616,18 @@ impl Inner {
                 let job = &batch[i];
                 let outcome = match run_custom(&job.spec) {
                     Ok(report) => {
+                        // Only completed simulations count toward the
+                        // shard-path counters: a `ConfigError` (e.g.
+                        // `shards: 0`) never ran anything.
+                        let shards = u64::from(job.spec.sim.shards);
+                        if shards > 1 {
+                            self.counters
+                                .sharded_jobs_run
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        self.counters
+                            .max_job_shards
+                            .fetch_max(shards, Ordering::Relaxed);
                         let json = serde_json::to_string(&report).expect("report serializes");
                         let fp = report_json_fingerprint(&json);
                         Ok((Arc::new(json), fp))
@@ -822,6 +840,47 @@ mod tests {
         let stats = sched.stats();
         assert!(stats.dedup_joins >= 1, "intra-sweep duplicate joins");
         assert_eq!(stats.jobs_run, 2, "two unique specs, two executions");
+        sched.shutdown();
+    }
+
+    #[test]
+    fn stats_surface_the_sharded_execution_path() {
+        let sched = Scheduler::new(SchedulerConfig::default());
+        let (emit, sink) = collect_emit();
+        // A sequential job establishes the baseline: executed, but not
+        // via the sharded path.
+        sched
+            .submit(1, 1, vec![tiny_spec(40)], false, emit.clone())
+            .unwrap();
+        wait_for(|| !lock(&sink).is_empty(), "sequential result");
+        let stats = sched.stats();
+        assert_eq!(stats.sharded_jobs_run, 0);
+        assert_eq!(stats.max_job_shards, 1, "sequential runs report shards=1");
+        lock(&sink).clear();
+        // A sharded job must show up in both counters.
+        let mut sharded = tiny_spec(41);
+        sharded.sim.shards = 3;
+        sched.submit(1, 2, vec![sharded], false, emit).unwrap();
+        wait_for(|| !lock(&sink).is_empty(), "sharded result");
+        match lock(&sink).remove(0) {
+            Response::Result { id, .. } => assert_eq!(id, 2),
+            other => panic!("expected Result, got {other:?}"),
+        }
+        let stats = sched.stats();
+        assert_eq!(stats.jobs_run, 2);
+        assert_eq!(stats.sharded_jobs_run, 1);
+        assert_eq!(stats.max_job_shards, 3);
+        // A rejected shard config never executes, so it must not move
+        // either counter.
+        let (emit, sink) = collect_emit();
+        let mut bad = tiny_spec(42);
+        bad.sim.shards = 0;
+        sched.submit(1, 3, vec![bad], false, emit).unwrap();
+        wait_for(|| !lock(&sink).is_empty(), "config error");
+        let stats = sched.stats();
+        assert_eq!(stats.config_rejects, 1);
+        assert_eq!(stats.sharded_jobs_run, 1);
+        assert_eq!(stats.max_job_shards, 3);
         sched.shutdown();
     }
 

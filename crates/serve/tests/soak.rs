@@ -62,6 +62,13 @@ fn spec_pool() -> Vec<WireSpec> {
             if i % 2 == 1 {
                 spec.faults = vec![Coord { x: 2, y: 3 }];
             }
+            // Alternate sequential and sharded specs so the storm also
+            // soaks the engine's sharded movement path (results are
+            // shard-count invariant, so the direct-run byte-comparison
+            // below covers both paths with one oracle).
+            if j % 2 == 1 {
+                spec.shards = 3;
+            }
             pool.push(spec);
         }
     }
@@ -250,6 +257,17 @@ fn soak_over_1000_concurrent_mixed_requests_zero_divergence() {
     assert!(
         stats.jobs_run < stats.requests,
         "dedup/cache should have avoided re-running duplicates: {stats:?}"
+    );
+    // The pool alternates shards 1/3 and every pool spec executed at
+    // least once, so the service must have exercised the sharded engine
+    // path — and the effective shard count must survive to the stats.
+    assert!(
+        stats.sharded_jobs_run > 0,
+        "storm never took the sharded engine path: {stats:?}"
+    );
+    assert_eq!(
+        stats.max_job_shards, 3,
+        "sharded pool specs must run with their requested shard count: {stats:?}"
     );
     assert_eq!(stats.in_flight, 0, "storm fully drained: {stats:?}");
 

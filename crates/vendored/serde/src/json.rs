@@ -75,6 +75,15 @@ impl Value {
         }
     }
 
+    /// The value as a slice of elements, if it is an array (mirrors real
+    /// serde_json's `Value::as_array`).
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// Object member lookup by key. `None` for missing keys and
     /// non-objects (mirrors real serde_json's `Value::get`).
     pub fn get(&self, key: &str) -> Option<&Value> {
