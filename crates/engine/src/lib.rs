@@ -45,6 +45,7 @@ mod config;
 mod fault_hook;
 mod message;
 pub mod pool;
+mod profile;
 mod shard;
 mod simulator;
 mod waiters;
@@ -53,6 +54,7 @@ pub use config::{Arbitration, ConfigError, SimConfig};
 pub use fault_hook::{FaultActivation, FaultDriver};
 pub use message::MsgId;
 pub use pool::WorkerPool;
+pub use profile::{Phase, PhaseTimes, NUM_PHASES};
 pub use simulator::Simulator;
 // Observability layer, re-exported so engine users can attach sinks and
 // consume stall diagnoses without naming `wormsim-obs` themselves.

@@ -5,6 +5,7 @@ use crate::config::{ConfigError, SimConfig};
 use crate::fault_hook::{FaultActivation, FaultDriver};
 use crate::message::{AllocPhase, Msg, MsgId, PathEntry};
 use crate::pool::{SyncPtr, WorkerPool};
+use crate::profile::{Phase, PhaseTimes};
 use crate::shard::{move_one, MoveArena, ShardRuntime};
 use crate::waiters::WaiterTable;
 use rand::rngs::SmallRng;
@@ -32,7 +33,15 @@ use wormsim_traffic::{DestinationSampler, Injector, Workload};
 /// nothing for the instrumentation, keeping the zero-allocation steady
 /// state and byte-identical reports. Attach a real sink with
 /// [`Simulator::with_sink`].
-pub struct Simulator<S: Sink = NullSink> {
+///
+/// It is additionally generic over `const PROFILE: bool`, the same
+/// compile-away discipline applied to per-phase wall-clock profiling:
+/// with the default `PROFILE = false` every `if PROFILE` stamp site
+/// constant-folds away; a `Simulator::<NullSink, true>` accumulates a
+/// per-phase cycle-time breakdown readable via
+/// [`Simulator::phase_times`]. Profiling only observes wall-clock time —
+/// simulation behavior and reports are identical either way.
+pub struct Simulator<S: Sink = NullSink, const PROFILE: bool = false> {
     cfg: SimConfig,
     algo: Arc<dyn RoutingAlgorithm>,
     ctx: Arc<RoutingContext>,
@@ -166,6 +175,10 @@ pub struct Simulator<S: Sink = NullSink> {
     /// single-core host, where `shards > 1` otherwise takes the inline
     /// sequential fast path (see [`Simulator::move_flits_sharded`]).
     force_parallel: bool,
+    /// Per-phase wall-clock accumulator; only written when `PROFILE`
+    /// (every stamp site is `if PROFILE`-guarded and compiles away in
+    /// the default instantiation).
+    phase_times: PhaseTimes,
 }
 
 impl Simulator {
@@ -197,6 +210,10 @@ impl<S: Sink> Simulator<S> {
     /// Build a simulator emitting [`TraceEvent`]s to `sink`. Behavior is
     /// byte-identical to [`Simulator::new`] — sinks observe, they never
     /// perturb (no RNG draws happen on the emit paths).
+    ///
+    /// Pinned to the default `PROFILE = false` so the sink type keeps
+    /// inferring at call sites; use [`Simulator::try_build`] with
+    /// explicit generics for a phase-profiled instantiation.
     pub fn with_sink(
         algo: impl Into<Arc<dyn RoutingAlgorithm>>,
         ctx: Arc<RoutingContext>,
@@ -212,6 +229,24 @@ impl<S: Sink> Simulator<S> {
     /// configuration (too many VCs for the occupancy bitmasks, a zero
     /// shard count) as a [`ConfigError`] instead of panicking.
     pub fn try_with_sink(
+        algo: impl Into<Arc<dyn RoutingAlgorithm>>,
+        ctx: Arc<RoutingContext>,
+        workload: Workload,
+        cfg: SimConfig,
+        sink: S,
+    ) -> Result<Self, ConfigError> {
+        Simulator::try_build(algo, ctx, workload, cfg, sink)
+    }
+}
+
+impl<S: Sink, const PROFILE: bool> Simulator<S, PROFILE> {
+    /// Construct with every generic explicit — the constructor behind
+    /// [`Simulator::new`] / [`Simulator::with_sink`], exposed so
+    /// phase-profiled instantiations can be built:
+    /// `Simulator::<NullSink, true>::try_build(..)`. (Const-parameter
+    /// defaults do not participate in expression inference, so the
+    /// inferring constructors are pinned to `PROFILE = false` instead.)
+    pub fn try_build(
         algo: impl Into<Arc<dyn RoutingAlgorithm>>,
         ctx: Arc<RoutingContext>,
         workload: Workload,
@@ -310,6 +345,7 @@ impl<S: Sink> Simulator<S> {
             completed_this_cycle: 0,
             shard_rt,
             force_parallel: false,
+            phase_times: PhaseTimes::new(),
             cfg,
             ctx,
         })
@@ -454,6 +490,7 @@ impl<S: Sink> Simulator<S> {
         self.injected_this_cycle = 0;
         self.blocked_this_cycle = 0;
         self.completed_this_cycle = 0;
+        self.phase_times.clear();
         if self.cfg.shards > 1 {
             match self.shard_rt.as_deref_mut() {
                 Some(rt) => rt.reconfigure(&mesh, self.cfg.shards, num_vcs),
@@ -479,6 +516,27 @@ impl<S: Sink> Simulator<S> {
     /// export traces, inspect recorded events).
     pub fn into_sink(self) -> S {
         self.sink
+    }
+
+    /// The per-phase wall-clock breakdown accumulated so far. All zeros
+    /// unless the simulator was instantiated with `PROFILE = true`
+    /// (e.g. `Simulator::<NullSink, true>::new(..)`); cleared by
+    /// [`Simulator::reset`].
+    pub fn phase_times(&self) -> &PhaseTimes {
+        &self.phase_times
+    }
+
+    /// Stamp the end of a profiled phase: charge the span since the last
+    /// mark to `phase` and advance the mark. Compiles to nothing when
+    /// `PROFILE` is false (the mark stays `None` and is dead code).
+    #[inline(always)]
+    fn phase_lap(&mut self, mark: &mut Option<std::time::Instant>, phase: Phase) {
+        if PROFILE {
+            let now = std::time::Instant::now();
+            if let Some(prev) = mark.replace(now) {
+                self.phase_times.add(phase, now.duration_since(prev));
+            }
+        }
     }
 
     /// The most recent watchdog stall diagnosis. Structured replacement
@@ -911,6 +969,13 @@ impl<S: Sink> Simulator<S> {
     /// Advance the simulation by one cycle.
     pub fn step(&mut self) {
         let measuring = self.measuring();
+        // Phase-profiling mark; stays `None` (and every `phase_lap`
+        // compiles away) unless `PROFILE` is set.
+        let mut mark = if PROFILE {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
 
         // 0. Online fault activation (before traffic so this cycle already
         // generates/routes against the new pattern).
@@ -962,6 +1027,8 @@ impl<S: Sink> Simulator<S> {
             }
         }
 
+        self.phase_lap(&mut mark, Phase::Inject);
+
         // 3. Service order: random (the paper's conflict resolution) or
         // oldest-first (starvation-free ablation alternative). Oldest-first
         // copies the incrementally maintained `(created, id)` mirror
@@ -985,11 +1052,14 @@ impl<S: Sink> Simulator<S> {
             }
         }
 
+        self.phase_lap(&mut mark, Phase::Route);
+
         // 4. Routing + VC allocation for headers.
         let order = std::mem::take(&mut self.order);
         for &id in &order {
             self.try_allocate(id);
         }
+        self.phase_lap(&mut mark, Phase::Allocate);
 
         // 5. Flit movement (ejection, pipeline shifts, source injection).
         // `link_used`/`eject_used` need no clearing: they are epoch-stamped
@@ -1001,11 +1071,12 @@ impl<S: Sink> Simulator<S> {
         // exact interleaving, and `Sink::ENABLED` is a compile-time
         // constant, so the untraced instantiation carries no branch here.
         if self.shard_rt.is_some() && !S::ENABLED {
-            self.move_flits_sharded(&order, measuring);
+            self.move_flits_sharded(&order, measuring, &mut mark);
         } else {
             for &id in &order {
                 self.move_flits(id, measuring);
             }
+            self.phase_lap(&mut mark, Phase::Move);
         }
         self.order = order;
 
@@ -1064,6 +1135,11 @@ impl<S: Sink> Simulator<S> {
         self.injected_this_cycle = 0;
         self.blocked_this_cycle = 0;
         self.completed_this_cycle = 0;
+
+        self.phase_lap(&mut mark, Phase::Recover);
+        if PROFILE {
+            self.phase_times.tick_cycle();
+        }
 
         self.cycle += 1;
     }
@@ -1574,7 +1650,12 @@ impl<S: Sink> Simulator<S> {
     ///   that shard's rank-sorted list is exactly the movable subsequence
     ///   of the service order; running it inline skips the pool handshake
     ///   and the deferred-effect replay entirely.
-    fn move_flits_sharded(&mut self, order: &[u32], measuring: bool) {
+    fn move_flits_sharded(
+        &mut self,
+        order: &[u32],
+        measuring: bool,
+        mark: &mut Option<std::time::Instant>,
+    ) {
         let mut rt = self
             .shard_rt
             .take()
@@ -1584,6 +1665,7 @@ impl<S: Sink> Simulator<S> {
                 self.move_flits(id, measuring);
             }
             self.shard_rt = Some(rt);
+            self.phase_lap(mark, Phase::Move);
             return;
         }
         if rt.should_rebuild() {
@@ -1641,7 +1723,14 @@ impl<S: Sink> Simulator<S> {
                 // would (the pool has already drained and unenrolled).
                 std::panic::resume_unwind(payload);
             }
+            // The parallel shard run is `move`; the deterministic
+            // rank-ordered effect replay that follows is `merge`.
+            self.phase_lap(mark, Phase::Move);
             self.apply_shard_effects(&mut rt, measuring);
+            self.phase_lap(mark, Phase::Merge);
+        }
+        if busy <= 1 {
+            self.phase_lap(mark, Phase::Move);
         }
         self.shard_rt = Some(rt);
     }

@@ -53,7 +53,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use wormsim_engine::{SimConfig, Simulator};
+use wormsim_engine::{NullSink, Phase, SimConfig, Simulator};
 use wormsim_experiments::{fnv1a, ContextCache};
 use wormsim_fault::FaultPattern;
 use wormsim_metrics::SimReport;
@@ -142,6 +142,39 @@ struct BenchRecord {
     /// ({1, 2, 4, 8} × {10×10, 64×64}), every point fingerprint-checked
     /// against its mesh's sequential oracle.
     scaling: ScalingRecord,
+    /// Per-phase cycle-time breakdown of the paper-scale run through a
+    /// `PROFILE = true` simulator, fingerprint-asserted against the
+    /// default build. Timings are informational (no `--check` floor —
+    /// phase shares vary with the machine); the fingerprint equality is
+    /// the invariant.
+    phases: PhasesRecord,
+}
+
+#[derive(Serialize)]
+struct PhasesRecord {
+    warmup_cycles: u64,
+    measure_cycles: u64,
+    /// FNV-1a over the profiled run's serialized report — asserted equal
+    /// to the default (profiling-off) build's fingerprint before this
+    /// record exists, so profiling provably does not perturb results.
+    profiled_fingerprint: String,
+    /// Wall-clock for the whole profiled schedule, seconds.
+    elapsed_secs: f64,
+    /// Cycles the accumulator saw (the full schedule).
+    cycles: u64,
+    /// Total profiled nanoseconds across all phases.
+    total_ns: u64,
+    /// One entry per engine phase, in step order.
+    breakdown: Vec<PhaseRecord>,
+}
+
+#[derive(Serialize)]
+struct PhaseRecord {
+    phase: &'static str,
+    total_ns: u64,
+    mean_ns_per_cycle: f64,
+    /// This phase's fraction of the total profiled time.
+    share: f64,
 }
 
 #[derive(Serialize)]
@@ -240,7 +273,7 @@ struct RoutingDecisionRecord {
 fn usage() -> ! {
     eprintln!(
         "usage: bench_engine [--out PATH] [--dump-report PATH] [--repeats N] [--check BASELINE] \
-         [--sweep-only] [--shard-only] [--scaling-only]"
+         [--sweep-only] [--shard-only] [--scaling-only] [--phases]"
     );
     std::process::exit(2);
 }
@@ -642,6 +675,81 @@ fn run_once() -> (SimReport, f64, u64) {
     (sim.report(), elapsed, allocs)
 }
 
+/// The phase-profiling section: the paper-scale run through a
+/// `PROFILE = true` simulator (same spec, prewarm, and schedule as
+/// [`run_once`]), asserting the profiled report's fingerprint equals the
+/// default build's before any record exists. `expected_fp` is the
+/// default build's fingerprint when the caller already ran it; `None`
+/// (the `--phases` smoke mode) runs the default build here.
+fn phase_bench(expected_fp: Option<&str>) -> PhasesRecord {
+    let expected = match expected_fp {
+        Some(fp) => fp.to_string(),
+        None => {
+            let (report, _, _) = run_once();
+            let json = serde_json::to_string_pretty(&report).expect("report serializes");
+            format!("{:016x}", fnv1a(json.as_bytes()))
+        }
+    };
+    let mesh = Mesh::square(MESH_SIZE);
+    let ctx = Arc::new(RoutingContext::new(
+        mesh.clone(),
+        FaultPattern::fault_free(&mesh),
+    ));
+    let algo = build_algorithm(AlgorithmKind::Duato, ctx.clone(), VcConfig::paper());
+    let cfg = SimConfig::paper().with_seed(SEED);
+    let mut sim = Simulator::<NullSink, true>::try_build(
+        algo,
+        ctx,
+        Workload::paper_uniform(RATE),
+        cfg,
+        NullSink,
+    )
+    .expect("paper config is valid");
+    let expected_msgs =
+        (cfg.total_cycles() as f64 * f64::from(MESH_SIZE) * f64::from(MESH_SIZE) * RATE) as usize;
+    sim.prewarm(expected_msgs + expected_msgs / 4 + 1024);
+    let start = Instant::now();
+    for _ in 0..cfg.total_cycles() {
+        sim.step();
+    }
+    let elapsed_secs = start.elapsed().as_secs_f64();
+    let json = serde_json::to_string_pretty(&sim.report()).expect("report serializes");
+    let profiled_fingerprint = format!("{:016x}", fnv1a(json.as_bytes()));
+    assert_eq!(
+        profiled_fingerprint, expected,
+        "phase-profiled run diverged from the default build — profiling must observe, \
+         never perturb"
+    );
+    let t = *sim.phase_times();
+    let breakdown: Vec<PhaseRecord> = Phase::ALL
+        .iter()
+        .map(|&p| PhaseRecord {
+            phase: p.name(),
+            total_ns: t.nanos(p),
+            mean_ns_per_cycle: t.mean_ns_per_cycle(p),
+            share: t.share(p),
+        })
+        .collect();
+    for r in &breakdown {
+        eprintln!(
+            "phase {:<8} {:>12} ns total  {:>8.1} ns/cycle  {:>5.1}%",
+            r.phase,
+            r.total_ns,
+            r.mean_ns_per_cycle,
+            r.share * 100.0
+        );
+    }
+    PhasesRecord {
+        warmup_cycles: cfg.warmup_cycles,
+        measure_cycles: cfg.measure_cycles,
+        profiled_fingerprint,
+        elapsed_secs,
+        cycles: t.cycles(),
+        total_ns: t.total_nanos(),
+        breakdown,
+    }
+}
+
 /// Mean ns per `route()` call for every roster algorithm, with the
 /// context's geometry table and with the direct computation. Uses a
 /// faulty pattern so ring geometry (where the table earns its keep) is
@@ -996,6 +1104,7 @@ fn main() {
     let mut sweep_only = false;
     let mut shard_only = false;
     let mut scaling_only = false;
+    let mut phases_only = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -1006,6 +1115,7 @@ fn main() {
             "--sweep-only" => sweep_only = true,
             "--shard-only" => shard_only = true,
             "--scaling-only" => scaling_only = true,
+            "--phases" => phases_only = true,
             "--repeats" => {
                 repeats = it
                     .next()
@@ -1017,6 +1127,19 @@ fn main() {
         }
     }
     let repeats = repeats.max(1);
+
+    if phases_only {
+        // Phase-profiling smoke mode: one default-build run for the
+        // oracle fingerprint, one profiled run asserted byte-identical,
+        // per-phase breakdown printed and emitted as JSON. There is no
+        // timing floor — the fingerprint equality is the gate.
+        let phases = phase_bench(None);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&phases).expect("phases serialize")
+        );
+        return;
+    }
 
     if scaling_only {
         // CI smoke mode for the shard sweep: every swept shard count must
@@ -1093,6 +1216,10 @@ fn main() {
         }
     }
     let (report_json, report) = report.expect("at least one run");
+    let report_fingerprint = format!("{:016x}", fnv1a(report_json.as_bytes()));
+    // Profiled pass after the timed runs: asserts the profiled build
+    // reproduces the exact report the default build just produced.
+    let phases = phase_bench(Some(&report_fingerprint));
 
     let record = BenchRecord {
         mesh_size: MESH_SIZE,
@@ -1109,10 +1236,11 @@ fn main() {
         messages_delivered_per_sec: report.throughput.messages_delivered() as f64 / best_secs,
         measure_allocations,
         routing_decision_ns: routing_decision_bench(),
-        report_fingerprint: format!("{:016x}", fnv1a(report_json.as_bytes())),
+        report_fingerprint,
         sweep,
         shard,
         scaling,
+        phases,
     };
     if let Some(path) = &check {
         check_against_baseline(&record, path);

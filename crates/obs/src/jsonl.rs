@@ -13,8 +13,15 @@ use std::io::{self, BufWriter, Write};
 /// `record` cannot return errors, so the first I/O failure is latched:
 /// subsequent events are dropped and [`JsonlSink::finish`] (or
 /// [`JsonlSink::error`]) reports it.
+///
+/// Dropping the sink without calling `finish` flushes buffered lines
+/// best-effort, so a file written by a dropped sink still parses
+/// completely via [`parse_jsonl`]; only `finish` can *report* a flush
+/// failure.
 pub struct JsonlSink<W: Write> {
-    w: BufWriter<W>,
+    // `Option` so `finish` can move the writer out while `Drop` still
+    // flushes the abandoned-sink path.
+    w: Option<BufWriter<W>>,
     written: u64,
     err: Option<io::Error>,
 }
@@ -23,7 +30,7 @@ impl<W: Write> JsonlSink<W> {
     /// Wrap a writer (buffering is handled internally).
     pub fn new(writer: W) -> Self {
         JsonlSink {
-            w: BufWriter::new(writer),
+            w: Some(BufWriter::new(writer)),
             written: 0,
             err: None,
         }
@@ -44,10 +51,17 @@ impl<W: Write> JsonlSink<W> {
         if let Some(e) = self.err.take() {
             return Err(e);
         }
-        self.w.flush()?;
-        self.w
-            .into_inner()
-            .map_err(|e| io::Error::other(e.to_string()))
+        let mut w = self.w.take().expect("writer present until finish/drop");
+        w.flush()?;
+        w.into_inner().map_err(|e| io::Error::other(e.to_string()))
+    }
+}
+
+impl<W: Write> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        if let Some(w) = self.w.as_mut() {
+            let _ = w.flush();
+        }
     }
 }
 
@@ -56,12 +70,13 @@ impl<W: Write> Sink for JsonlSink<W> {
         if self.err.is_some() {
             return;
         }
+        let Some(w) = self.w.as_mut() else { return };
         let line = serde_json::to_string(&event);
         let res = line
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
             .and_then(|l| {
-                self.w.write_all(l.as_bytes())?;
-                self.w.write_all(b"\n")
+                w.write_all(l.as_bytes())?;
+                w.write_all(b"\n")
             });
         match res {
             Ok(()) => self.written += 1,
@@ -107,6 +122,26 @@ mod tests {
         assert_eq!(text.lines().count(), 3);
         let back = parse_jsonl(&text).unwrap();
         assert_eq!(back, events);
+    }
+
+    #[test]
+    fn dropped_sink_flushes_to_file() {
+        let path =
+            std::env::temp_dir().join(format!("wormsim-jsonl-drop-{}.jsonl", std::process::id()));
+        {
+            let mut sink = JsonlSink::new(std::fs::File::create(&path).unwrap());
+            for c in 0..100u64 {
+                sink.record(TraceEvent::new(c, EventKind::Inject, c as u32));
+            }
+            assert_eq!(sink.written(), 100);
+            // Dropped without finish(): Drop must flush the BufWriter.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back.len(), 100);
+        assert_eq!(back[99].msg, 99);
+        assert_eq!(back[99].cycle, 99);
     }
 
     #[test]

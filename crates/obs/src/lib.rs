@@ -20,10 +20,15 @@
 //! - [`Progress`] — quiet/verbose chatter policy for experiment bins;
 //!   [`ProgressFrame`] / [`FrameLog`] — machine-readable progress ticks
 //!   for sockets and logs.
+//! - [`MetricsRegistry`] / [`Counter`] / [`Gauge`] /
+//!   [`LatencyHistogram`] — lock-free service metrics with log₂ latency
+//!   buckets, JSON snapshots ([`MetricsSnapshot`]), and Prometheus text
+//!   exposition ([`render_prometheus`] / [`validate_prometheus`]).
 
 mod chrome;
 mod event;
 mod jsonl;
+mod metrics;
 mod progress;
 mod sink;
 mod stall;
@@ -31,6 +36,11 @@ mod stall;
 pub use chrome::ChromeTraceSink;
 pub use event::{EventKind, TraceEvent};
 pub use jsonl::{parse_jsonl, JsonlSink};
+pub use metrics::{
+    bucket_index, bucket_lower, bucket_upper, parse_metrics_log, render_prometheus,
+    validate_prometheus, BucketCount, Counter, CounterSample, Gauge, GaugeSample, HistogramSample,
+    LatencyHistogram, MetricsFrame, MetricsRegistry, MetricsSnapshot, HISTOGRAM_BUCKETS,
+};
 pub use progress::{parse_frame_log, FrameLog, Progress, ProgressFrame};
 pub use sink::{NullSink, RingSink, Sink, TeeSink, VecSink};
 pub use stall::{Hotspot, StallDiagnosis, StallMessage, WaitEdge};

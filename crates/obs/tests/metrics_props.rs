@@ -1,0 +1,142 @@
+//! Property-based tests for the lock-free latency histogram: bucket
+//! membership, boundary monotonicity, quantile bounds, and exact counts
+//! under concurrent recording.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use wormsim_obs::{bucket_index, bucket_lower, bucket_upper, LatencyHistogram, HISTOGRAM_BUCKETS};
+
+#[test]
+fn bucket_boundaries_are_monotone_and_contiguous() {
+    // Edges must tile u64 with no gaps or overlaps: each bucket's lower
+    // edge is exactly one past the previous bucket's upper edge, and
+    // upper edges strictly increase.
+    for i in 1..HISTOGRAM_BUCKETS {
+        assert!(
+            bucket_upper(i) > bucket_upper(i - 1),
+            "bucket {i} upper not increasing"
+        );
+        assert_eq!(
+            bucket_lower(i),
+            bucket_upper(i - 1) + 1,
+            "gap/overlap between buckets {} and {i}",
+            i - 1
+        );
+    }
+    assert_eq!(bucket_lower(0), 0);
+    assert_eq!(bucket_upper(HISTOGRAM_BUCKETS - 1), u64::MAX);
+}
+
+proptest! {
+    #[test]
+    fn every_value_lands_in_exactly_one_bucket(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < HISTOGRAM_BUCKETS);
+        // The chosen bucket contains the value...
+        prop_assert!(bucket_lower(i) <= v && v <= bucket_upper(i));
+        // ...and no other bucket does (edges are disjoint, so membership
+        // in the chosen bucket plus contiguity implies uniqueness; spot
+        // check the neighbours explicitly).
+        if i > 0 {
+            prop_assert!(v > bucket_upper(i - 1));
+        }
+        if i + 1 < HISTOGRAM_BUCKETS {
+            prop_assert!(v < bucket_lower(i + 1));
+        }
+    }
+
+    #[test]
+    fn recording_increments_exactly_one_bucket(values in prop::collection::vec(any::<u64>(), 1..200)) {
+        let h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let counts = h.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        prop_assert_eq!(total, values.len() as u64);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        // Each bucket's count equals the number of values that fall in
+        // its range — i.e. every record hit exactly its own bucket.
+        for (i, &c) in counts.iter().enumerate() {
+            let expect = values
+                .iter()
+                .filter(|&&v| bucket_lower(i) <= v && v <= bucket_upper(i))
+                .count() as u64;
+            prop_assert_eq!(c, expect, "bucket {} miscounted", i);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_bounded_by_their_bucket_edges(
+        values in prop::collection::vec(0u64..1_000_000_000, 1..200),
+        q_millis in 0u32..=1000,
+    ) {
+        let h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let q = q_millis as f64 / 1000.0;
+        let est = h.quantile(q);
+        // Recompute the rank the estimator targets and locate its bucket
+        // independently; the estimate must lie within that bucket.
+        let total = values.len() as u64;
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let counts = h.bucket_counts();
+        let mut cum = 0u64;
+        let mut located = None;
+        for (i, &c) in counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                located = Some(i);
+                break;
+            }
+        }
+        let i = located.expect("rank within total");
+        prop_assert!(
+            bucket_lower(i) <= est && est <= bucket_upper(i),
+            "q={} est={} outside bucket {} [{}, {}]",
+            q, est, i, bucket_lower(i), bucket_upper(i)
+        );
+        // And quantiles are monotone in q at the resolution of buckets.
+        prop_assert!(h.quantile(0.0) <= h.quantile(1.0));
+    }
+}
+
+#[test]
+fn concurrent_recording_keeps_exact_totals() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 20_000;
+    let h = Arc::new(LatencyHistogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                // Distinct value streams per thread, spanning many
+                // buckets, including zeros and large outliers.
+                for i in 0..PER_THREAD {
+                    let v = match i % 4 {
+                        0 => 0,
+                        1 => i,
+                        2 => (t as u64 + 1) << (i % 40),
+                        _ => u64::MAX - i,
+                    };
+                    h.record(v);
+                }
+            })
+        })
+        .collect();
+    for j in handles {
+        j.join().unwrap();
+    }
+    let expect = (THREADS as u64) * PER_THREAD;
+    assert_eq!(h.count(), expect, "lost or duplicated recordings");
+    let counts = h.bucket_counts();
+    assert_eq!(counts.iter().sum::<u64>(), expect);
+    assert_eq!(counts[0], expect / 4, "zero bucket exact");
+    // The `_` arm first fires at i == 3, so the largest sample is MAX-3.
+    assert_eq!(h.max(), u64::MAX - 3);
+    // Quantiles remain finite and ordered after concurrent recording.
+    let (p50, p99) = (h.quantile(0.5), h.quantile(0.99));
+    assert!(p50 <= p99 && p99 <= h.max());
+}

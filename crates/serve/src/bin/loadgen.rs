@@ -13,6 +13,10 @@
 //! overlap in flight, and a sprinkle of invalid specs that must come
 //! back as typed `bad_spec` / `config` error frames.
 //!
+//! Every answered request is also stamped into a client-side
+//! [`LatencyHistogram`] (send → response), and a p50/p95/p99/max table
+//! prints after the storm.
+//!
 //! After the storm, a sequential second pass re-requests known specs
 //! (guaranteed cache hits), then checks:
 //!
@@ -20,7 +24,13 @@
 //! - with `--verify`, each unique spec's report matches a direct
 //!   in-process `run_custom` byte-for-byte (zero divergence);
 //! - the server counted cache hits and dedup joins (> 0 each);
-//! - every invalid spec was rejected with the expected error code.
+//! - every invalid spec was rejected with the expected error code;
+//! - with `--verify`, a `Metrics` scrape must agree with the run:
+//!   the server-side request-latency histogram count equals the
+//!   requests this client had answered, queue-wait/execution counts
+//!   equal jobs run, quantiles are finite and ordered, the Prometheus
+//!   exposition parses line-by-line, and every snapshot counter matches
+//!   its `ServerStats` twin.
 //!
 //! Exits non-zero if any check fails — CI runs this as the serving
 //! smoke gate.
@@ -29,7 +39,7 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use wormsim_obs::Progress;
+use wormsim_obs::{validate_prometheus, LatencyHistogram, Progress};
 use wormsim_serve::{Client, PatternInterner, Request, Response, WireSpec};
 use wormsim_topology::Coord;
 
@@ -180,15 +190,16 @@ fn run_connection(
     addr: &str,
     specs: Vec<(u64, Expect, WireSpec)>,
     tally: &Mutex<Tally>,
+    latency: &LatencyHistogram,
 ) -> Result<(), String> {
     let mut client =
         Client::connect_retry(addr, Duration::from_secs(5)).map_err(|e| format!("connect: {e}"))?;
-    let mut expects: HashMap<u64, Expect> = HashMap::new();
+    let mut expects: HashMap<u64, (Expect, Instant)> = HashMap::new();
     for (id, expect, spec) in specs {
         client
             .send(&Request::Run { id, spec })
             .map_err(|e| format!("send: {e}"))?;
-        expects.insert(id, expect);
+        expects.insert(id, (expect, Instant::now()));
     }
     let mut anchor_report: Option<String> = None;
     while !expects.is_empty() {
@@ -203,9 +214,10 @@ fn run_connection(
                 deduped,
                 ..
             } => {
-                let expect = expects
+                let (expect, sent) = expects
                     .remove(&id)
                     .ok_or_else(|| format!("unexpected result id {id}"))?;
+                latency.record_duration(sent.elapsed());
                 t.ok += 1;
                 if cached {
                     t.cached += 1;
@@ -234,9 +246,10 @@ fn run_connection(
                 }
             }
             Response::Error { id, code, .. } => {
-                let expect = expects
+                let (expect, sent) = expects
                     .remove(&id)
                     .ok_or_else(|| format!("unexpected error id {id}"))?;
+                latency.record_duration(sent.elapsed());
                 *t.errors.entry(code.clone()).or_insert(0) += 1;
                 match expect {
                     Expect::Invalid(want) if code == want => {}
@@ -262,6 +275,10 @@ fn main() -> ExitCode {
     let anchor = anchor_spec(args.seed);
     let invalid = invalid_specs(args.seed);
     let tally = Arc::new(Mutex::new(Tally::default()));
+    // Client-observed latency (send → response), shared across all
+    // connection threads — the same lock-free histogram type the server
+    // records into.
+    let latency = Arc::new(LatencyHistogram::new());
 
     // Deal the storm across connections: each connection leads with
     // anchor duplicates (overlap → dedup), then interleaves pool cycles
@@ -276,6 +293,7 @@ fn main() -> ExitCode {
             let anchor = &anchor;
             let invalid = &invalid;
             let tally = tally.clone();
+            let latency = latency.clone();
             let addr = args.addr.as_str();
             handles.push(scope.spawn(move || {
                 let mut batch: Vec<(u64, Expect, WireSpec)> = Vec::with_capacity(per_conn);
@@ -303,7 +321,7 @@ fn main() -> ExitCode {
                     }
                     id += 1;
                 }
-                run_connection(addr, batch, &tally)
+                run_connection(addr, batch, &tally, &latency)
             }));
         }
         for h in handles {
@@ -330,9 +348,13 @@ fn main() -> ExitCode {
         }
     };
     let mut second_pass_hits = 0u64;
+    let mut second_pass_total = 0u64;
     for (idx, spec) in pool.iter().enumerate().take(8) {
+        let sent = Instant::now();
+        second_pass_total += 1;
         match client.run_spec(spec) {
             Ok(out) => {
+                latency.record_duration(sent.elapsed());
                 if out.cached {
                     second_pass_hits += 1;
                 }
@@ -387,6 +409,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // With --verify, scrape the metric surface while the server is still
+    // up (and after all our work is answered, so counts are settled).
+    let scraped = if args.verify {
+        match client.metrics() {
+            Ok(m) => Some(m),
+            Err(e) => {
+                eprintln!("loadgen: metrics scrape failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
     if args.shutdown {
         if let Err(e) = client.shutdown_server() {
             eprintln!("loadgen: shutdown failed: {e}");
@@ -417,6 +452,15 @@ fn main() -> ExitCode {
         stats.config_rejects,
         stats.bad_spec_rejects,
         stats.integrity_drops,
+    ));
+    let ms = |ns: u64| ns as f64 / 1e6;
+    progress.out(format_args!(
+        "client latency ({} answered): p50 {:.2}ms  p95 {:.2}ms  p99 {:.2}ms  max {:.2}ms",
+        latency.count(),
+        ms(latency.quantile(0.50)),
+        ms(latency.quantile(0.95)),
+        ms(latency.quantile(0.99)),
+        ms(latency.max()),
     ));
 
     let mut failed = false;
@@ -457,6 +501,95 @@ fn main() -> ExitCode {
         check(
             stats.max_job_shards >= 4,
             "sharded specs kept their requested shard count",
+        );
+    }
+    if let Some((snap, prometheus)) = &scraped {
+        // The exposition must parse line-by-line with at least one
+        // sample per metric family.
+        match validate_prometheus(prometheus) {
+            Ok(samples) => check(samples > 0, "prometheus exposition carries samples"),
+            Err(e) => check(false, &format!("prometheus exposition parses ({e})")),
+        }
+        // Loadgen is the sole client in a --verify run, so the server's
+        // answered-request count is exactly what this process saw
+        // answered: storm results + admitted-then-config-rejected specs
+        // + the sequential second pass. (bad_spec / quota / backpressure
+        // rejections are never admitted, so they never complete.)
+        let config_errors = t.errors.get("config").copied().unwrap_or(0);
+        let answered = t.ok + config_errors + second_pass_total;
+        check(
+            stats.completed == answered,
+            &format!(
+                "server completed ({}) equals requests answered here ({answered})",
+                stats.completed
+            ),
+        );
+        match snap.histogram("wormsim_request_latency_seconds") {
+            Some(h) => {
+                check(
+                    h.count == stats.completed,
+                    &format!(
+                        "request-latency count ({}) equals completed ({})",
+                        h.count, stats.completed
+                    ),
+                );
+                check(h.count > 0, "request-latency histogram is non-empty");
+                check(
+                    h.p50 <= h.p90 && h.p90 <= h.p99 && h.p99 <= h.p999 && h.p999 <= h.max,
+                    "request-latency quantiles are ordered",
+                );
+            }
+            None => check(false, "request-latency histogram exists"),
+        }
+        // Every dequeued job is stamped into both histograms, even the
+        // config-rejected ones; panics (internal_errors) bypass the
+        // worker task, so with zero of them the counts are exact.
+        check(stats.internal_errors == 0, "no worker panics");
+        for name in ["wormsim_queue_wait_seconds", "wormsim_execution_seconds"] {
+            match snap.histogram(name) {
+                Some(h) => check(
+                    h.count == stats.jobs_run,
+                    &format!(
+                        "{name} count ({}) equals jobs_run ({})",
+                        h.count, stats.jobs_run
+                    ),
+                ),
+                None => check(false, &format!("{name} histogram exists")),
+            }
+        }
+        // The snapshot and ServerStats are derived from the same
+        // registry; every counter twin must agree.
+        let twins: [(&str, u64); 13] = [
+            ("wormsim_requests_total", stats.requests),
+            ("wormsim_requests_completed_total", stats.completed),
+            ("wormsim_jobs_run_total", stats.jobs_run),
+            ("wormsim_sharded_jobs_run_total", stats.sharded_jobs_run),
+            ("wormsim_max_job_shards", stats.max_job_shards),
+            ("wormsim_cache_hits_total", stats.cache_hits),
+            ("wormsim_dedup_joins_total", stats.dedup_joins),
+            ("wormsim_rejects_quota_total", stats.quota_rejects),
+            (
+                "wormsim_rejects_backpressure_total",
+                stats.backpressure_rejects,
+            ),
+            ("wormsim_rejects_bad_spec_total", stats.bad_spec_rejects),
+            ("wormsim_rejects_config_total", stats.config_rejects),
+            ("wormsim_internal_errors_total", stats.internal_errors),
+            ("wormsim_integrity_drops_total", stats.integrity_drops),
+        ];
+        for (name, want) in twins {
+            check(
+                snap.counter(name) == Some(want),
+                &format!("{name} matches its ServerStats twin ({want})"),
+            );
+        }
+        check(
+            snap.gauge("wormsim_jobs_in_flight") == Some(0),
+            "no jobs in flight after the drain",
+        );
+        check(
+            snap.gauge("wormsim_cached_results") == Some(stats.cached_results as i64),
+            "cached-results gauge matches ServerStats",
         );
     }
     if failed {

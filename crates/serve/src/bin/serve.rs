@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! serve [--addr HOST:PORT] [--threads N] [--max-queue N]
-//!       [--quota N] [--cache-cap N] [--quiet]
+//!       [--quota N] [--cache-cap N]
+//!       [--metrics-jsonl PATH] [--metrics-interval-ms N] [--quiet]
 //! ```
 //!
 //! Binds the address (default `127.0.0.1:7420`; port `0` lets the OS
@@ -10,14 +11,23 @@
 //! scrape the port, and serves until a client sends a `Shutdown` frame —
 //! then drains every admitted request, joins the worker pool, and prints
 //! the final counters as one JSON line.
+//!
+//! With `--metrics-jsonl PATH`, a background emitter appends one
+//! [`MetricsFrame`](wormsim_obs::MetricsFrame) JSON line to `PATH` every
+//! `--metrics-interval-ms` (default 1000) while serving, plus a final
+//! frame at shutdown — the soak-run companion to the on-demand
+//! `Metrics` wire request.
 
 use std::process::ExitCode;
+use std::time::Duration;
 use wormsim_obs::Progress;
-use wormsim_serve::{SchedulerConfig, Server, ServerConfig};
+use wormsim_serve::{MetricsEmitter, SchedulerConfig, Server, ServerConfig};
 
 struct Args {
     addr: String,
     scheduler: SchedulerConfig,
+    metrics_jsonl: Option<String>,
+    metrics_interval: Duration,
     quiet: bool,
 }
 
@@ -25,6 +35,8 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:7420".into(),
         scheduler: SchedulerConfig::default(),
+        metrics_jsonl: None,
+        metrics_interval: Duration::from_millis(1000),
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -52,11 +64,22 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--cache-cap: {e}"))?
             }
+            "--metrics-jsonl" => args.metrics_jsonl = Some(value("--metrics-jsonl")?),
+            "--metrics-interval-ms" => {
+                let ms: u64 = value("--metrics-interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("--metrics-interval-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--metrics-interval-ms must be positive".into());
+                }
+                args.metrics_interval = Duration::from_millis(ms);
+            }
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 println!(
                     "usage: serve [--addr HOST:PORT] [--threads N] [--max-queue N] \
-                     [--quota N] [--cache-cap N] [--quiet]"
+                     [--quota N] [--cache-cap N] \
+                     [--metrics-jsonl PATH] [--metrics-interval-ms N] [--quiet]"
                 );
                 std::process::exit(0);
             }
@@ -85,6 +108,27 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let emitter = match &args.metrics_jsonl {
+        Some(path) => match std::fs::File::create(path)
+            .map_err(|e| e.to_string())
+            .and_then(|f| {
+                MetricsEmitter::spawn(server.metrics(), f, args.metrics_interval)
+                    .map_err(|e| e.to_string())
+            }) {
+            Ok(em) => {
+                progress.out(format_args!(
+                    "metrics -> {path} every {}ms",
+                    args.metrics_interval.as_millis()
+                ));
+                Some(em)
+            }
+            Err(e) => {
+                eprintln!("serve: metrics emitter failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     // The listening line is output, not chatter: scripts scrape it for
     // the resolved port, so it prints regardless of --quiet.
     println!("listening on {}", server.local_addr());
@@ -92,6 +136,11 @@ fn main() -> ExitCode {
         "serving; send a Shutdown frame (loadgen --shutdown) to stop"
     ));
     let stats = server.run_until_shutdown();
+    if let Some(em) = emitter {
+        if let Err(e) = em.stop() {
+            eprintln!("serve: metrics emitter error: {e}");
+        }
+    }
     match serde_json::to_string(&stats) {
         Ok(json) => println!("{json}"),
         Err(e) => eprintln!("serve: stats serialization failed: {e}"),

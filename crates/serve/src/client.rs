@@ -11,7 +11,7 @@
 use std::io::{self, BufReader};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
-use wormsim_obs::ProgressFrame;
+use wormsim_obs::{MetricsSnapshot, ProgressFrame};
 
 use crate::protocol::{read_frame, send_message, Request, Response, ServerStats, WireSpec};
 
@@ -233,6 +233,23 @@ impl Client {
                 // Stats may interleave with late frames of pipelined work.
                 Response::Progress { .. } => continue,
                 other => return Err(unexpected("Stats", &other)),
+            }
+        }
+    }
+
+    /// Fetch the server's full metric surface: the structured snapshot
+    /// plus its Prometheus text exposition.
+    pub fn metrics(&mut self) -> Result<(MetricsSnapshot, String), ClientError> {
+        self.send(&Request::Metrics)?;
+        loop {
+            match self.recv()? {
+                Response::Metrics {
+                    snapshot,
+                    prometheus,
+                } => return Ok((snapshot, prometheus)),
+                // May interleave with late frames of pipelined work.
+                Response::Progress { .. } => continue,
+                other => return Err(unexpected("Metrics", &other)),
             }
         }
     }

@@ -26,20 +26,30 @@
 //! - **Graceful drain.** Shutdown answers every admitted request, then
 //!   joins the worker pool's threads.
 //!
+//! - **A scrapeable metric surface.** Every counter, gauge, and latency
+//!   histogram lives in a lock-free [`MetricsRegistry`](wormsim_obs::MetricsRegistry)
+//!   ([`metrics::ServeMetrics`]); [`Request::Metrics`] returns both a
+//!   structured snapshot and a Prometheus text exposition, and
+//!   [`MetricsEmitter`] streams periodic JSONL snapshots for soak runs.
+//!   `ServerStats` is derived from the registry — one source of truth.
+//!
 //! Crate layout: [`protocol`] (framing + wire vocabulary), [`intern`]
 //! (fault-pattern interning so wire requests share routing contexts),
-//! [`scheduler`] (dedup, cache, quotas, dispatcher), [`server`] (TCP
-//! plumbing), [`client`] (blocking client used by `loadgen`, the soak
-//! test, and scripts).
+//! [`scheduler`] (dedup, cache, quotas, dispatcher), [`metrics`]
+//! (counters, gauges, latency histograms, periodic emitter), [`server`]
+//! (TCP plumbing), [`client`] (blocking client used by `loadgen`, the
+//! soak test, and scripts).
 
 pub mod client;
 pub mod intern;
+pub mod metrics;
 pub mod protocol;
 pub mod scheduler;
 pub mod server;
 
 pub use client::{Client, ClientError, RunOutcome, SweepOutcome};
 pub use intern::PatternInterner;
+pub use metrics::{MetricsEmitter, ServeMetrics};
 pub use protocol::{
     algorithm_from_name, read_frame, read_frame_with, write_frame, Request, Response, ServerStats,
     SpecError, WireSpec, MAX_FRAME_LEN,

@@ -21,7 +21,7 @@ use std::io::{self, Read, Write};
 use std::sync::Arc;
 use wormsim_engine::SimConfig;
 use wormsim_experiments::CustomSpec;
-use wormsim_obs::ProgressFrame;
+use wormsim_obs::{MetricsSnapshot, ProgressFrame};
 use wormsim_routing::{AlgorithmKind, VcConfig};
 use wormsim_topology::Coord;
 use wormsim_traffic::{TrafficPattern, Workload};
@@ -311,6 +311,9 @@ pub enum Request {
     },
     /// Fetch the server's counters.
     Stats,
+    /// Fetch the full metric surface: a structured snapshot (counters,
+    /// gauges, latency histograms) plus its Prometheus text exposition.
+    Metrics,
     /// Ask the server to drain in-flight work and exit.
     Shutdown,
 }
@@ -367,6 +370,13 @@ pub enum Response {
     Stats {
         /// Counter snapshot.
         stats: ServerStats,
+    },
+    /// Answer to [`Request::Metrics`].
+    Metrics {
+        /// Structured snapshot of every registered metric.
+        snapshot: MetricsSnapshot,
+        /// The same snapshot rendered as Prometheus text exposition.
+        prometheus: String,
     },
     /// Acknowledges [`Request::Shutdown`]; the server drains and exits.
     Goodbye,

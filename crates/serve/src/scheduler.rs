@@ -26,13 +26,15 @@
 //! get `code: "shutting_down"`.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread;
+use std::time::Instant;
 use wormsim_engine::ConfigError;
 use wormsim_experiments::{report_json_fingerprint, run_custom, CustomSpec, WorkerPool};
 use wormsim_obs::ProgressFrame;
 
+use crate::metrics::ServeMetrics;
 use crate::protocol::{Emit, Response, ServerStats};
 
 /// Scheduler knobs; [`SchedulerConfig::default`] suits tests and small
@@ -89,6 +91,9 @@ struct RequestState {
     client: u64,
     is_sweep: bool,
     emit: Emit,
+    /// Admission stamp; the request-latency histogram measures from
+    /// here to the final emitted response.
+    started: Instant,
     inner: Mutex<RequestProgress>,
 }
 
@@ -114,6 +119,9 @@ type SpecKey = Arc<String>;
 struct QueuedJob {
     key: SpecKey,
     spec: CustomSpec,
+    /// Queue-entry stamp; the queue-wait histogram measures from here
+    /// to worker pickup.
+    admitted: Instant,
 }
 
 struct CacheEntry {
@@ -138,28 +146,14 @@ struct SchedState {
     stop: bool,
 }
 
-#[derive(Default)]
-struct Counters {
-    requests: AtomicU64,
-    completed: AtomicU64,
-    jobs_run: AtomicU64,
-    sharded_jobs_run: AtomicU64,
-    max_job_shards: AtomicU64,
-    cache_hits: AtomicU64,
-    dedup_joins: AtomicU64,
-    quota_rejects: AtomicU64,
-    backpressure_rejects: AtomicU64,
-    bad_spec_rejects: AtomicU64,
-    config_rejects: AtomicU64,
-    internal_errors: AtomicU64,
-    integrity_drops: AtomicU64,
-}
-
 struct Inner {
     cfg: SchedulerConfig,
     state: Mutex<SchedState>,
     work_ready: Condvar,
-    counters: Counters,
+    /// The full metric surface (counters, gauges, latency histograms);
+    /// `ServerStats` is derived from it, so this is the one source of
+    /// truth for every count.
+    metrics: Arc<ServeMetrics>,
     pool: WorkerPool,
 }
 
@@ -181,7 +175,7 @@ impl Scheduler {
             cfg,
             state: Mutex::new(SchedState::default()),
             work_ready: Condvar::new(),
-            counters: Counters::default(),
+            metrics: Arc::new(ServeMetrics::new()),
             pool: WorkerPool::new(),
         });
         let dispatcher = {
@@ -221,6 +215,7 @@ impl Scheduler {
             client,
             is_sweep,
             emit,
+            started: Instant::now(),
             inner: Mutex::new(RequestProgress {
                 slots: vec![None; specs.len()],
                 remaining: specs.len(),
@@ -242,7 +237,7 @@ impl Scheduler {
             }
             let load = s.client_load.get(&client).copied().unwrap_or(0);
             if load >= inner.cfg.per_client_quota {
-                inner.counters.quota_rejects.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.quota_rejects.inc();
                 return Err((
                     "quota",
                     format!(
@@ -280,10 +275,7 @@ impl Scheduler {
                 plans.push(plan);
             }
             if new_jobs > 0 && s.pending_jobs + new_jobs > inner.cfg.max_queue {
-                inner
-                    .counters
-                    .backpressure_rejects
-                    .fetch_add(1, Ordering::Relaxed);
+                inner.metrics.backpressure_rejects.inc();
                 return Err((
                     "backpressure",
                     format!(
@@ -294,18 +286,18 @@ impl Scheduler {
             }
             // Admitted: apply the plan. Plans were built in slot order, so
             // the enumeration index *is* the request slot.
-            inner.counters.requests.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.requests.inc();
             *s.client_load.entry(client).or_insert(0) += 1;
             let mut touched: Vec<SpecKey> = Vec::new();
             for (slot, ((plan, key), spec)) in plans.into_iter().zip(&keys).zip(specs).enumerate() {
                 match plan {
                     Plan::CacheHit(result) => {
-                        inner.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        inner.metrics.cache_hits.inc();
                         touched.push(key.clone());
                         immediate.push((slot, result));
                     }
                     Plan::Join => {
-                        inner.counters.dedup_joins.fetch_add(1, Ordering::Relaxed);
+                        inner.metrics.dedup_joins.inc();
                         s.jobs
                             .get_mut(key)
                             .expect("joined job exists")
@@ -322,8 +314,10 @@ impl Scheduler {
                         s.queue.push_back(QueuedJob {
                             key: key.clone(),
                             spec,
+                            admitted: Instant::now(),
                         });
                         s.pending_jobs += 1;
+                        inner.metrics.jobs_in_flight.inc();
                     }
                 }
             }
@@ -341,15 +335,18 @@ impl Scheduler {
     /// Count a malformed spec rejected before scheduling (the server's
     /// protocol layer calls this so the stat lives with the others).
     pub fn note_bad_spec(&self) {
-        self.inner
-            .counters
-            .bad_spec_rejects
-            .fetch_add(1, Ordering::Relaxed);
+        self.inner.metrics.bad_spec_rejects.inc();
     }
 
-    /// Snapshot the counters.
+    /// Snapshot the counters (derived from the metric registry).
     pub fn stats(&self) -> ServerStats {
-        self.inner.stats()
+        self.inner.metrics.server_stats()
+    }
+
+    /// The scheduler's metric surface (share with emitters / the
+    /// `Metrics` wire handler).
+    pub fn metrics(&self) -> Arc<ServeMetrics> {
+        self.inner.metrics.clone()
     }
 
     /// Drain the queue (answering every waiter), stop the dispatcher, and
@@ -390,31 +387,6 @@ fn touch_cache(s: &mut SchedState, key: &SpecKey) {
 }
 
 impl Inner {
-    fn stats(&self) -> ServerStats {
-        let (cached_results, in_flight) = {
-            let s = lock(&self.state);
-            (s.cache.len() as u64, s.pending_jobs as u64)
-        };
-        let c = &self.counters;
-        ServerStats {
-            requests: c.requests.load(Ordering::Relaxed),
-            completed: c.completed.load(Ordering::Relaxed),
-            jobs_run: c.jobs_run.load(Ordering::Relaxed),
-            sharded_jobs_run: c.sharded_jobs_run.load(Ordering::Relaxed),
-            max_job_shards: c.max_job_shards.load(Ordering::Relaxed),
-            cache_hits: c.cache_hits.load(Ordering::Relaxed),
-            dedup_joins: c.dedup_joins.load(Ordering::Relaxed),
-            quota_rejects: c.quota_rejects.load(Ordering::Relaxed),
-            backpressure_rejects: c.backpressure_rejects.load(Ordering::Relaxed),
-            bad_spec_rejects: c.bad_spec_rejects.load(Ordering::Relaxed),
-            config_rejects: c.config_rejects.load(Ordering::Relaxed),
-            internal_errors: c.internal_errors.load(Ordering::Relaxed),
-            integrity_drops: c.integrity_drops.load(Ordering::Relaxed),
-            cached_results,
-            in_flight,
-        }
-    }
-
     /// Fill one slot of a request; when it is the last, finalize and emit.
     fn fill_slot(
         self: &Arc<Self>,
@@ -498,6 +470,13 @@ impl Inner {
                 }
             }
         };
+        // Latency and the completion count are recorded *before* the
+        // final emit: a client that has its answer in hand must find
+        // the request already counted when it scrapes metrics.
+        self.metrics
+            .request_latency
+            .record_duration(req.started.elapsed());
+        self.metrics.completed.inc();
         (req.emit)(response);
         {
             let mut s = lock(&self.state);
@@ -508,7 +487,6 @@ impl Inner {
                 }
             }
         }
-        self.counters.completed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Resolve one executed job: cache the result, detach the waiters,
@@ -518,7 +496,7 @@ impl Inner {
         key: &SpecKey,
         outcome: Result<(Arc<String>, String), JobError>,
     ) {
-        self.counters.jobs_run.fetch_add(1, Ordering::Relaxed);
+        self.metrics.jobs_run.inc();
         // Fingerprint integrity is verified once, here at insert time
         // and outside the state lock — the entry is immutable behind its
         // `Arc` afterwards, so cache hits never rehash the report while
@@ -527,9 +505,7 @@ impl Inner {
             Ok((json, fp)) => {
                 let ok = *fp == report_json_fingerprint(json);
                 if !ok {
-                    self.counters
-                        .integrity_drops
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.metrics.integrity_drops.inc();
                 }
                 ok
             }
@@ -538,6 +514,7 @@ impl Inner {
         let waiters = {
             let mut s = lock(&self.state);
             s.pending_jobs = s.pending_jobs.saturating_sub(1);
+            self.metrics.jobs_in_flight.dec();
             if cacheable {
                 if let Ok((json, fp)) = &outcome {
                     cache_insert(
@@ -549,6 +526,9 @@ impl Inner {
                     );
                 }
             }
+            // The gauge mirrors the cache population under the same
+            // lock that mutates it (inserts may also evict).
+            self.metrics.cached_results.set(s.cache.len() as i64);
             s.jobs.remove(key).map(|e| e.waiters).unwrap_or_default()
         };
         match outcome {
@@ -572,13 +552,8 @@ impl Inner {
             Err(err) => {
                 let (code, message) = err.wire();
                 match err {
-                    JobError::Config(_) => {
-                        self.counters.config_rejects.fetch_add(1, Ordering::Relaxed)
-                    }
-                    JobError::Panicked => self
-                        .counters
-                        .internal_errors
-                        .fetch_add(1, Ordering::Relaxed),
+                    JobError::Config(_) => self.metrics.config_rejects.inc(),
+                    JobError::Panicked => self.metrics.internal_errors.inc(),
                 };
                 for (req, slot) in waiters {
                     self.fill_slot(
@@ -614,20 +589,26 @@ impl Inner {
             let done: Vec<AtomicBool> = batch.iter().map(|_| AtomicBool::new(false)).collect();
             let task = |i: usize| {
                 let job = &batch[i];
-                let outcome = match run_custom(&job.spec) {
+                // Worker pickup: the job's queue wait ends here and its
+                // execution span begins. Both histograms are stamped for
+                // config errors too, so their counts stay equal to the
+                // number of jobs dequeued.
+                self.metrics
+                    .queue_wait
+                    .record_duration(job.admitted.elapsed());
+                let exec_start = Instant::now();
+                let run = run_custom(&job.spec);
+                self.metrics.execution.record_duration(exec_start.elapsed());
+                let outcome = match run {
                     Ok(report) => {
                         // Only completed simulations count toward the
                         // shard-path counters: a `ConfigError` (e.g.
                         // `shards: 0`) never ran anything.
                         let shards = u64::from(job.spec.sim.shards);
                         if shards > 1 {
-                            self.counters
-                                .sharded_jobs_run
-                                .fetch_add(1, Ordering::Relaxed);
+                            self.metrics.sharded_jobs_run.inc();
                         }
-                        self.counters
-                            .max_job_shards
-                            .fetch_max(shards, Ordering::Relaxed);
+                        self.metrics.max_job_shards.record_max(shards);
                         let json = serde_json::to_string(&report).expect("report serializes");
                         let fp = report_json_fingerprint(&json);
                         Ok((Arc::new(json), fp))
@@ -924,6 +905,52 @@ mod tests {
             .filter(|r| matches!(r, Response::Result { .. }))
             .count();
         assert_eq!(results, 2, "drain answered every admitted request");
+    }
+
+    #[test]
+    fn in_flight_returns_to_zero_after_a_burst_drains() {
+        // Submit a burst of distinct jobs on a small pool, watch the
+        // gauge go up, then assert it returns to *exactly* zero once
+        // every response has arrived — the gauge is incremented and
+        // decremented under the same lock sections that maintain
+        // `pending_jobs`, so any off-by-one would stick permanently.
+        let sched = Scheduler::new(SchedulerConfig {
+            threads: 2,
+            ..SchedulerConfig::default()
+        });
+        let (emit, sink) = collect_emit();
+        let burst = 12u64;
+        for i in 0..burst {
+            sched
+                .submit(1, i, vec![tiny_spec(200 + i)], false, emit.clone())
+                .unwrap();
+        }
+        assert!(
+            sched.stats().in_flight > 0,
+            "burst should have jobs in flight"
+        );
+        wait_for(|| lock(&sink).len() as u64 == burst, "burst drain");
+        // All responses are emitted strictly after their job's in-flight
+        // decrement, so by now the gauge must read exactly zero.
+        let stats = sched.stats();
+        assert_eq!(stats.in_flight, 0, "drained burst left a phantom job");
+        assert_eq!(stats.completed, burst);
+        assert_eq!(stats.jobs_run, burst);
+        // Latency histograms saw every request and every job.
+        let m = sched.metrics();
+        assert_eq!(m.request_latency.count(), burst);
+        assert_eq!(m.queue_wait.count(), burst);
+        assert_eq!(m.execution.count(), burst);
+        // A cache hit resolves without touching the in-flight gauge.
+        sched
+            .submit(1, 99, vec![tiny_spec(200)], false, emit)
+            .unwrap();
+        wait_for(|| lock(&sink).len() as u64 == burst + 1, "cached reply");
+        let stats = sched.stats();
+        assert_eq!(stats.in_flight, 0);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cached_results, burst);
+        sched.shutdown();
     }
 
     #[test]

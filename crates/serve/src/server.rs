@@ -134,6 +134,13 @@ impl Server {
         self.scheduler.stats()
     }
 
+    /// The scheduler's metric surface (also available over the wire via
+    /// [`Request::Metrics`]); share it with a
+    /// [`MetricsEmitter`](crate::MetricsEmitter) for periodic snapshots.
+    pub fn metrics(&self) -> std::sync::Arc<crate::ServeMetrics> {
+        self.scheduler.metrics()
+    }
+
     /// The scheduler's worker-pool thread-name prefix (tests use it to
     /// assert the pool's threads are joined on shutdown).
     pub fn pool_thread_prefix(&self) -> String {
@@ -231,6 +238,15 @@ fn handle_conn(
             Request::Stats => {
                 let _ = tx.send(Response::Stats {
                     stats: scheduler.stats(),
+                });
+            }
+            Request::Metrics => {
+                let m = scheduler.metrics();
+                let snapshot = m.snapshot();
+                let prometheus = wormsim_obs::render_prometheus(&snapshot);
+                let _ = tx.send(Response::Metrics {
+                    snapshot,
+                    prometheus,
                 });
             }
             Request::Shutdown => {

@@ -11,8 +11,10 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
+use wormsim_obs::{parse_metrics_log, render_prometheus, validate_prometheus};
 use wormsim_serve::{
-    Client, PatternInterner, Request, Response, SchedulerConfig, Server, ServerConfig, WireSpec,
+    Client, MetricsEmitter, PatternInterner, Request, Response, SchedulerConfig, Server,
+    ServerConfig, WireSpec,
 };
 use wormsim_topology::Coord;
 
@@ -271,6 +273,55 @@ fn soak_over_1000_concurrent_mixed_requests_zero_divergence() {
     );
     assert_eq!(stats.in_flight, 0, "storm fully drained: {stats:?}");
 
+    // The metrics wire request must agree with the stats the storm just
+    // pinned: every answered request timed exactly once, quantiles
+    // ordered and bounded by the recorded max, and both job-side
+    // histograms stamped once per dequeued job (config rejections
+    // included — they were dequeued and executed-then-rejected).
+    {
+        let mut client = connect(&server);
+        let (snap, prometheus) = client.metrics().expect("metrics scrape");
+        let series = validate_prometheus(&prometheus).expect("exposition parses");
+        assert!(series > 0, "exposition rendered no samples");
+
+        let req = snap
+            .histogram("wormsim_request_latency_seconds")
+            .expect("request latency histogram registered");
+        assert_eq!(req.count, stats.completed, "one latency sample per answer");
+        assert!(req.max > 0, "storm latencies can't round to zero");
+        assert!(
+            req.p50 <= req.p90 && req.p90 <= req.p99 && req.p99 <= req.p999 && req.p999 <= req.max,
+            "quantiles out of order: {req:?}"
+        );
+
+        assert_eq!(snap.counter("wormsim_internal_errors_total"), Some(0));
+        let queue_wait = snap.histogram("wormsim_queue_wait_seconds").unwrap();
+        let execution = snap.histogram("wormsim_execution_seconds").unwrap();
+        assert_eq!(queue_wait.count, stats.jobs_run, "one wait per dequeue");
+        assert_eq!(execution.count, stats.jobs_run, "one span per dequeue");
+
+        // The counters the stats struct now derives from must read back
+        // identically over the wire.
+        assert_eq!(snap.counter("wormsim_requests_total"), Some(stats.requests));
+        assert_eq!(
+            snap.counter("wormsim_requests_completed_total"),
+            Some(stats.completed)
+        );
+        assert_eq!(
+            snap.counter("wormsim_cache_hits_total"),
+            Some(stats.cache_hits)
+        );
+        assert_eq!(
+            snap.counter("wormsim_dedup_joins_total"),
+            Some(stats.dedup_joins)
+        );
+        assert_eq!(snap.gauge("wormsim_jobs_in_flight"), Some(0));
+        assert_eq!(
+            snap.gauge("wormsim_cached_results"),
+            Some(stats.cached_results as i64)
+        );
+    }
+
     // Graceful exit: drain, then the pool's threads are joined.
     let final_stats = server.stop();
     assert_eq!(final_stats.internal_errors, 0);
@@ -446,6 +497,72 @@ fn shutdown_drains_admitted_requests_before_exiting() {
         0,
         "pool threads joined on shutdown"
     );
+}
+
+#[test]
+fn metrics_emitter_jsonl_round_trips_and_lands_on_final_server_state() {
+    let server = start_server(SchedulerConfig::default());
+    let path = std::env::temp_dir().join(format!(
+        "wormsim-soak-metrics-{}-{:?}.jsonl",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let file = std::fs::File::create(&path).expect("create metrics log");
+    let emitter = MetricsEmitter::spawn(server.metrics(), file, Duration::from_millis(20))
+        .expect("spawn emitter");
+
+    // Run a few distinct specs plus one repeat (a cache hit) while the
+    // emitter ticks in the background.
+    let mut client = connect(&server);
+    const N: u64 = 4;
+    for i in 0..N {
+        let mut spec = WireSpec::basic(6, "Xy", 0.002, 7000 + i);
+        spec.warmup_cycles = 100;
+        spec.measure_cycles = 400;
+        client.run_spec(&spec).expect("run");
+    }
+    let mut repeat = WireSpec::basic(6, "Xy", 0.002, 7000);
+    repeat.warmup_cycles = 100;
+    repeat.measure_cycles = 400;
+    assert!(client.run_spec(&repeat).expect("re-run").cached);
+    std::thread::sleep(Duration::from_millis(60));
+
+    let frames_written = emitter.stop().expect("emitter stops cleanly");
+    let text = std::fs::read_to_string(&path).expect("read metrics log");
+    let _ = std::fs::remove_file(&path);
+    let frames = parse_metrics_log(&text).expect("every line parses");
+    assert_eq!(frames.len() as u64, frames_written, "no frame lost");
+    assert!(
+        frames.len() >= 3,
+        "periodic frames plus the final one: {} frames",
+        frames.len()
+    );
+    for (i, frame) in frames.iter().enumerate() {
+        assert_eq!(frame.seq, i as u64, "seq numbers are dense");
+        if i > 0 {
+            assert!(frame.elapsed_ms >= frames[i - 1].elapsed_ms);
+        }
+        // Counters only move forward between frames.
+        let completed = frame.metrics.counter("wormsim_requests_completed_total");
+        let prev = frames[i.saturating_sub(1)]
+            .metrics
+            .counter("wormsim_requests_completed_total");
+        assert!(completed >= prev, "counter regressed between frames");
+    }
+    // The final frame is a full snapshot of terminal server state, and
+    // renders to a valid exposition just like the live scrape would.
+    let last = &frames.last().unwrap().metrics;
+    assert_eq!(last.counter("wormsim_requests_total"), Some(N + 1));
+    assert_eq!(
+        last.counter("wormsim_requests_completed_total"),
+        Some(N + 1)
+    );
+    assert_eq!(last.counter("wormsim_jobs_run_total"), Some(N));
+    assert_eq!(last.counter("wormsim_cache_hits_total"), Some(1));
+    assert_eq!(last.gauge("wormsim_jobs_in_flight"), Some(0));
+    let rendered = render_prometheus(last);
+    assert!(validate_prometheus(&rendered).expect("final frame renders") > 0);
+    server.stop();
 }
 
 #[test]
